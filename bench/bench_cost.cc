@@ -1,0 +1,55 @@
+// Section 6.6 deployment-cost table: forwarding vs caching vs coding for
+// 150 concurrent Skype calls through a 2-DC overlay, from the cloud cost
+// model (ingress free, egress charged, compute per thread-hour).
+#include <cstdio>
+
+#include "exp/report.h"
+#include "overlay/cost_model.h"
+
+int main() {
+  using namespace jqos;
+  std::printf("== Section 6.6: deployment cost (150 Skype calls, 2-DC overlay) ==\n");
+
+  const overlay::CostModel model;
+  const overlay::SkypeLoad load;
+  const double gb_per_hour = load.gb_per_user_hour * load.calls_per_thread;
+
+  exp::Table t({"service", "inter-DC GB/h", "bandwidth $/h", "compute $/h", "total $/h",
+                "vs forwarding"});
+  const double egress = model.pricing().egress_usd_per_gb;
+  const double compute = model.pricing().compute_usd_per_thread_hour;
+
+  const double fwd_bw = 2.0 * gb_per_hour * egress;
+  const double cache_bw = (gb_per_hour + gb_per_hour * 0.01) * egress;  // ~1% pulls.
+  const double code_rate = 1.0 / 16.0;
+  const double code_bw = 2.0 * gb_per_hour * code_rate * egress;
+
+  t.add_row({"forwarding", exp::Table::num(gb_per_hour, 1), exp::Table::num(fwd_bw),
+             exp::Table::num(compute), exp::Table::num(fwd_bw + compute), "1.0x"});
+  t.add_row({"caching", exp::Table::num(gb_per_hour, 1), exp::Table::num(cache_bw),
+             exp::Table::num(compute), exp::Table::num(cache_bw + compute),
+             exp::Table::num(fwd_bw / cache_bw, 1) + "x cheaper (bw)"});
+  t.add_row({"coding r=1/16", exp::Table::num(gb_per_hour * code_rate, 1),
+             exp::Table::num(code_bw), exp::Table::num(compute),
+             exp::Table::num(code_bw + compute),
+             exp::Table::num(fwd_bw / code_bw, 1) + "x cheaper (bw)"});
+  t.print("Section 6.6 hourly cost estimate");
+
+  exp::print_claim("Sec6.6 forwarding bandwidth cost", "$17.60/hour",
+                   "$" + exp::Table::num(fwd_bw) + "/hour");
+  exp::print_claim("Sec6.6 compute cost", "$0.13/hour (one thread)",
+                   "$" + exp::Table::num(compute) + "/hour");
+  exp::print_claim("Sec6.6 coding bandwidth cost", "$1.10/hour (16x less)",
+                   "$" + exp::Table::num(code_bw) + "/hour (" +
+                       exp::Table::num(fwd_bw / code_bw, 1) + "x less)");
+
+  // Sensitivity sweep: cost vs coding rate (the alpha*c spectrum of Fig 2).
+  exp::Table sweep({"coding rate r", "inter-DC GB/h", "bandwidth $/h", "x cheaper than fwd"});
+  for (double r : {1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0, 1.0 / 8.0, 1.0 / 16.0, 1.0 / 32.0}) {
+    const double bw = 2.0 * gb_per_hour * r * egress;
+    sweep.add_row({exp::Table::num(r, 4), exp::Table::num(gb_per_hour * r, 1),
+                   exp::Table::num(bw), exp::Table::num(fwd_bw / bw, 1) + "x"});
+  }
+  sweep.print("coding-rate cost sensitivity");
+  return 0;
+}

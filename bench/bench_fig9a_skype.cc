@@ -1,0 +1,236 @@
+// Figure 9(a) reproduction: Skype video conferencing over a wide-area path
+// with a 30-second outage, under four treatments:
+//   Internet   -- direct path only (Skype's own FEC cannot bridge the outage)
+//   Fwd        -- full duplication over the cloud path (forwarding service)
+//   CR-WAN     -- cross-stream coding with three background flows, s=0
+//   CR-WAN-Mob -- CR-WAN with cellular-grade access latency to the DC
+// plus the Section 6.3 bandwidth accounting (CR-WAN sends ~13% of the
+// bytes forwarding sends across the inter-DC path).
+#include <cstdio>
+#include <unordered_map>
+
+#include "app/psnr.h"
+#include "app/video.h"
+#include "endpoint/session.h"
+#include "exp/report.h"
+#include "netsim/network.h"
+#include "overlay/datacenter.h"
+#include "services/coding/encoder_dc.h"
+#include "services/coding/recovery_dc.h"
+#include "services/forwarding/forwarding_service.h"
+#include "transport/cbr_app.h"
+
+namespace {
+
+using namespace jqos;
+
+struct SkypeRun {
+  Samples psnr;
+  std::uint64_t inter_dc_bytes = 0;
+  std::uint64_t inter_dc_packets = 0;
+};
+
+// One experiment: a video call on a 50 ms one-way path with a 30 s outage
+// in the middle of a 120 s call.
+SkypeRun run_case(ServiceType service, bool mobile_access, std::uint64_t seed) {
+  netsim::Simulator sim;
+  netsim::Network net(sim);
+  Rng rng(seed);
+
+  overlay::DataCenter dc1(net, 0, "dc1");
+  overlay::DataCenter dc2(net, 1, "dc2");
+  auto registry = std::make_shared<services::FlowRegistry>();
+  auto fwd1 = std::make_shared<services::ForwardingService>();
+  dc1.install(fwd1);
+  dc2.install(std::make_shared<services::ForwardingService>());
+  services::CodingParams cp;
+  cp.k = 4;
+  cp.cross_coded = 1;  // r = 1/4 with k = 4 (Section 6.3).
+  cp.in_coded = 0;     // s = 0: Skype runs its own FEC.
+  cp.queue_timeout = msec(60);
+  auto encoder = std::make_shared<services::CodingEncoderService>(dc1, cp, registry);
+  dc1.install(encoder);
+  services::RecoveryParams rp;
+  rp.coop_deadline = msec(250);
+  auto recovery = std::make_shared<services::RecoveryService>(dc2, rp, registry);
+  dc2.install(recovery);
+
+  endpoint::Sender sender(net);
+  // Background senders sharing DC1 (the three ~200 Kbps UDP flows).
+  endpoint::Sender bg_sender(net);
+
+  const SimDuration access = mobile_access ? msec(28) : msec(8);
+  endpoint::ReceiverConfig rc;
+  rc.dc2 = dc2.id();
+  rc.rtt_estimate = msec(100);
+  rc.recovery_give_up = sec(2);  // The app tolerates consistent added delay.
+  std::unordered_map<SeqNo, app::PacketOutcome> outcomes;
+  FlowId video_flow = 0;
+  endpoint::Receiver receiver(
+      net, rc,
+      [&outcomes, &video_flow](const endpoint::DeliveryRecord& rec, const PacketPtr&) {
+        if (rec.flow != video_flow || rec.lost) return;
+        outcomes[rec.seq] = app::PacketOutcome{true, rec.delivered_at};
+      });
+  // Background receivers, one per background flow, near DC2.
+  std::vector<std::unique_ptr<endpoint::Receiver>> bg_receivers;
+
+  // Links. Direct path: 50 ms one way with the scripted 30 s outage.
+  auto outage = netsim::make_scheduled_outages(
+      netsim::make_bernoulli_loss(0.002, rng.fork("base-loss")),
+      {{sec(45), sec(75)}});
+  netsim::JitterParams direct_jitter;
+  direct_jitter.base = msec(50);
+  direct_jitter.jitter_scale_ms = 1.0;
+  net.add_link(sender.id(), receiver.id(),
+               netsim::make_jitter_latency(direct_jitter, rng.fork("dj")),
+               std::move(outage));
+
+  auto clean = [&](SimDuration base) {
+    netsim::JitterParams jp;
+    jp.base = base;
+    jp.jitter_scale_ms = 0.3;
+    return netsim::make_jitter_latency(jp, rng.fork("clean"));
+  };
+  net.add_link(sender.id(), dc1.id(), clean(msec(8)), netsim::make_no_loss());
+  net.add_link(dc1.id(), dc2.id(), clean(msec(40)), netsim::make_no_loss());
+  net.add_link(dc2.id(), receiver.id(), clean(access), netsim::make_no_loss());
+  net.add_link(receiver.id(), dc2.id(), clean(access), netsim::make_no_loss());
+
+  endpoint::SessionManager sessions(registry);
+  endpoint::RegisterRequest req;
+  req.force_service = service;
+  req.dc1 = dc1.id();
+  req.dc2 = dc2.id();
+  req.delays.y_ms = 50.0;
+  req.delays.delta_s_ms = 8.0;
+  req.delays.delta_r_ms = to_ms(access);
+  req.delays.x_ms = 40.0;
+  const endpoint::Session session = sessions.register_flow(sender, receiver, req);
+  video_flow = session.flow;
+  // Forwarded copies route via DC2 (which owns the receiver's access link).
+  fwd1->set_next_hop(receiver.id(), dc2.id());
+
+  // Background flows: material for cross-stream coding under CR-WAN, and
+  // duplicated over the overlay under forwarding so both treatments carry
+  // the same four-flow offered load (a like-for-like bandwidth comparison).
+  if (service == ServiceType::kCode || service == ServiceType::kForward) {
+    for (int i = 0; i < 3; ++i) {
+      endpoint::ReceiverConfig brc;
+      brc.dc2 = dc2.id();
+      brc.rtt_estimate = msec(100);
+      auto br = std::make_unique<endpoint::Receiver>(net, brc);
+      net.add_link(bg_sender.id(), br->id(), clean(msec(50)), netsim::make_no_loss());
+      net.add_link(bg_sender.id(), dc1.id(), clean(msec(8)), netsim::make_no_loss());
+      net.add_link(dc2.id(), br->id(), clean(msec(8)), netsim::make_no_loss());
+      net.add_link(br->id(), dc2.id(), clean(msec(8)), netsim::make_no_loss());
+      endpoint::RegisterRequest breq = req;
+      breq.force_service = service;
+      const endpoint::Session bg_session = sessions.register_flow(bg_sender, *br, breq);
+      (void)bg_session;
+      fwd1->set_next_hop(br->id(), dc2.id());
+      bg_receivers.push_back(std::move(br));
+    }
+  }
+
+  // Video source (the call) + background CBR (~200 Kbps each). The call
+  // uses the paper's interactive-video envelope: 10-15 fps, 2-5 packets per
+  // frame (Section 5), i.e. ~500 Kbps of ~1.2 KB packets.
+  app::VideoParams vp;
+  vp.fps = 12.0;
+  vp.bitrate_bps = 5e5;
+  app::VideoSource video(sim, sender, video_flow, vp, rng.fork("video"));
+  video.start(sec(120));
+  std::vector<std::unique_ptr<transport::CbrApp>> bg_apps;
+  for (std::size_t i = 0; i < bg_receivers.size(); ++i) {
+    transport::CbrParams cbr;
+    cbr.on_duration = sec(120);
+    cbr.mean_off = sec(1);
+    cbr.packets_per_second = 20.0;  // 20 pps * 1250 B = 200 Kbps.
+    cbr.payload_bytes = 1250;
+    cbr.initial_skew = msec(3 * (static_cast<int>(i) + 1));
+    auto appp = std::make_unique<transport::CbrApp>(
+        sim, bg_sender, static_cast<FlowId>(video_flow + 1 + i), cbr, rng.fork("bg"));
+    appp->start(sec(120));
+    bg_apps.push_back(std::move(appp));
+  }
+
+  sim.run_until(sec(125));
+  encoder->flush_all();
+  sim.run_until(sec(130));
+
+  SkypeRun out;
+  app::PsnrParams pp;
+  pp.playout_deadline = sec(1);  // The call adapts to consistent delay.
+  Rng score_rng(seed ^ 0xabcdef);
+  out.psnr = app::score_video(video.layout(), vp, outcomes, pp, score_rng);
+  const auto* inter_dc = net.link(dc1.id(), dc2.id());
+  out.inter_dc_bytes = inter_dc->stats().offered_bytes;
+  out.inter_dc_packets = inter_dc->stats().offered_packets;
+  const auto& rs = receiver.stats();
+  std::fprintf(stderr,
+               "  [%s] direct=%llu recovered=%llu self=%llu nacks=%llu tail=%llu "
+               "giveup=%llu enc_evict=%llu rec_coop=%llu rec_dead=%llu uncov=%llu\n",
+               to_string(service), (unsigned long long)rs.delivered_direct,
+               (unsigned long long)rs.delivered_recovered,
+               (unsigned long long)rs.self_decoded, (unsigned long long)rs.nacks_sent,
+               (unsigned long long)rs.tail_nacks_sent,
+               (unsigned long long)rs.losses_given_up,
+               (unsigned long long)encoder->stats().single_packet_evictions,
+               (unsigned long long)recovery->stats().coop_success,
+               (unsigned long long)recovery->stats().coop_deadline_failures,
+               (unsigned long long)recovery->stats().uncovered_keys);
+  std::fprintf(stderr,
+               "      enc data=%llu cross_b=%llu coded=%llu timerfl=%llu | dc2 stored=%llu expired=%llu instream=%llu checks=%llu confirms=%llu\n",
+               (unsigned long long)encoder->stats().data_packets,
+               (unsigned long long)encoder->stats().cross_batches,
+               (unsigned long long)encoder->stats().coded_sent,
+               (unsigned long long)encoder->stats().timer_flushes,
+               (unsigned long long)recovery->stats().batches_stored,
+               (unsigned long long)recovery->stats().batches_expired,
+               (unsigned long long)recovery->stats().in_stream_served,
+               (unsigned long long)recovery->stats().nack_checks_sent,
+               (unsigned long long)recovery->stats().nack_confirms);
+  std::fprintf(stderr, "      rechecks=%llu nack_keys=%llu\n",
+               (unsigned long long)recovery->stats().recheck_probes,
+               (unsigned long long)recovery->stats().nack_keys);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jqos;
+  std::printf("== Figure 9(a): Skype QoE under a 30 s outage ==\n");
+
+  const SkypeRun internet = run_case(ServiceType::kNone, false, 101);
+  const SkypeRun fwd = run_case(ServiceType::kForward, false, 102);
+  const SkypeRun crwan = run_case(ServiceType::kCode, false, 103);
+  const SkypeRun crwan_mobile = run_case(ServiceType::kCode, true, 104);
+
+  exp::print_cdf("Fig9a PSNR, Internet (outage)", internet.psnr);
+  exp::print_cdf("Fig9a PSNR, Fwd", fwd.psnr);
+  exp::print_cdf("Fig9a PSNR, CR-WAN", crwan.psnr);
+  exp::print_cdf("Fig9a PSNR, CR-WAN-Mobile", crwan_mobile.psnr);
+
+  exp::print_claim("Fig9a outage degrades Internet QoE",
+                   "a 30 s outage freezes ~25% of frames (poor PSNR mass)",
+                   "internet frames <30 dB: " +
+                       exp::Table::num(internet.psnr.cdf_at(30.0) * 100.0, 0) +
+                       "% vs fwd: " + exp::Table::num(fwd.psnr.cdf_at(30.0) * 100.0, 0) +
+                       "% vs CR-WAN: " +
+                       exp::Table::num(crwan.psnr.cdf_at(30.0) * 100.0, 0) + "%");
+  exp::print_claim("Fig9a CR-WAN ~ Fwd QoE",
+                   "CR-WAN achieves similar QoE to forwarding",
+                   "median " + exp::Table::num(crwan.psnr.median(), 1) + " vs " +
+                       exp::Table::num(fwd.psnr.median(), 1) + " dB");
+  const double pkt_ratio = 100.0 * static_cast<double>(crwan.inter_dc_packets) /
+                           static_cast<double>(fwd.inter_dc_packets);
+  const double byte_ratio = 100.0 * static_cast<double>(crwan.inter_dc_bytes) /
+                            static_cast<double>(fwd.inter_dc_bytes);
+  exp::print_claim("Sec6.3 CR-WAN bandwidth vs forwarding",
+                   "13.4% as many packets / 13.6% as many bytes",
+                   exp::Table::num(pkt_ratio, 1) + "% packets / " +
+                       exp::Table::num(byte_ratio, 1) + "% bytes on the inter-DC path");
+  return 0;
+}

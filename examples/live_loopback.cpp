@@ -1,0 +1,60 @@
+// Live-runtime example: the J-QoS wire format and caching recovery running
+// over REAL UDP sockets on loopback (the paper's user-space proxy mode),
+// with a 25% impaired "Internet" leg. No simulator involved.
+#include <cstdio>
+
+#include "net/event_loop.h"
+#include "net/live_node.h"
+
+using namespace jqos;
+using namespace std::chrono_literals;
+
+int main() {
+  net::EventLoop loop;
+  net::LiveCachingDc dc(loop);
+  std::printf("DC cache listening on udp://%s\n", dc.endpoint().to_string().c_str());
+
+  std::uint64_t direct = 0, recovered = 0;
+  net::LiveReceiver receiver(loop, /*flow=*/1, dc.endpoint(),
+                             [&](const Packet& pkt, bool was_recovered) {
+                               (void)pkt;
+                               if (was_recovered) {
+                                 ++recovered;
+                               } else {
+                                 ++direct;
+                               }
+                             });
+  std::printf("receiver listening on udp://%s\n", receiver.endpoint().to_string().c_str());
+
+  net::ImpairmentParams impair;
+  impair.drop_probability = 0.25;
+  impair.delay = 5ms;
+  impair.jitter = 3ms;
+  net::LiveSender sender(loop, 1, receiver.endpoint(), dc.endpoint(), impair, Rng(99));
+
+  // Stream 300 datagrams; duplicate each to the DC cache; the receiver
+  // pulls the holes the impaired direct leg leaves behind.
+  const int kPackets = 300;
+  for (int i = 0; i < kPackets; ++i) {
+    sender.send(std::vector<std::uint8_t>(128, static_cast<std::uint8_t>(i)));
+    loop.run_once(2ms);
+  }
+  // Trailing beacons let the receiver detect the final gap, then drain.
+  for (int i = 0; i < 20; ++i) {
+    sender.send(std::vector<std::uint8_t>(16, 0xee));
+    for (int j = 0; j < 10; ++j) loop.run_once(5ms);
+  }
+  const auto deadline = net::Clock::now() + 500ms;
+  while (net::Clock::now() < deadline) loop.run_once(10ms);
+
+  std::printf("\nlive loopback run (25%% drop + 5-8 ms delay on the direct leg):\n");
+  std::printf("  direct deliveries    : %llu\n", static_cast<unsigned long long>(direct));
+  std::printf("  recovered via pulls  : %llu\n",
+              static_cast<unsigned long long>(recovered));
+  std::printf("  direct-leg datagrams dropped by impairment: %llu of %llu\n",
+              static_cast<unsigned long long>(sender.direct_stats().dropped),
+              static_cast<unsigned long long>(sender.direct_stats().offered));
+  std::printf("  DC cache served %llu pulls, holding %zu packets\n",
+              static_cast<unsigned long long>(dc.served()), dc.store().size());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Mobility / DTN example (Figure 3(e)): a mobile sender uploads while the
+// receiver is offline; packets wait in the DC cache (the on-path
+// rendezvous point) and the receiver pulls them when it comes online --
+// without the sender needing to be reachable anymore.
+#include <cstdio>
+
+#include "endpoint/receiver.h"
+#include "endpoint/sender.h"
+#include "netsim/network.h"
+#include "overlay/datacenter.h"
+#include "services/caching/caching_service.h"
+
+using namespace jqos;
+
+int main() {
+  netsim::Simulator sim;
+  netsim::Network net(sim);
+
+  overlay::DataCenter dc(net, 0, "dc-rendezvous");
+  // Long TTL: this is the DTN-style use the paper contrasts with in-memory
+  // loss recovery (Section 3.2).
+  auto cache = std::make_shared<services::CachingService>(minutes(10));
+  dc.install(cache);
+
+  endpoint::Sender mobile(net);
+  net.add_link(mobile.id(), dc.id(), netsim::make_fixed_latency(msec(30)),
+               netsim::make_no_loss());
+
+  endpoint::ReceiverConfig rc;
+  rc.dc2 = dc.id();
+  rc.recovery_service = ServiceType::kCache;
+  rc.rtt_estimate = msec(60);
+  rc.recovery_give_up = minutes(5);
+  std::uint64_t pulled = 0;
+  endpoint::Receiver receiver(net, rc,
+                              [&](const endpoint::DeliveryRecord& rec, const PacketPtr&) {
+                                if (rec.recovered) ++pulled;
+                              });
+  receiver.expect_flow(1);
+  net.add_link(dc.id(), receiver.id(), netsim::make_fixed_latency(msec(8)),
+               netsim::make_no_loss());
+  net.add_link(receiver.id(), dc.id(), netsim::make_fixed_latency(msec(8)),
+               netsim::make_no_loss());
+
+  // The mobile sender uploads 500 packets to the rendezvous cache and goes
+  // offline. There is deliberately NO direct link to the receiver.
+  endpoint::SenderPolicy policy;
+  policy.service = ServiceType::kCache;
+  policy.send_direct = false;
+  policy.dc1 = dc.id();
+  policy.cloud_final_dst = dc.id();
+  mobile.register_flow(1, policy);
+  for (int i = 0; i < 500; ++i) {
+    sim.at(msec(20) * i, [&mobile] { mobile.send(1, 800); });
+  }
+
+  // Two minutes later the receiver comes online and pulls everything it
+  // has not seen (a tail NACK from sequence 0).
+  sim.at(minutes(2), [&net, &receiver, &dc] {
+    NackInfo info;
+    info.tail = true;
+    info.expected = 0;
+    auto nack = std::make_shared<Packet>();
+    nack->type = PacketType::kNack;
+    nack->service = ServiceType::kCache;
+    nack->flow = 1;
+    nack->src = receiver.id();
+    nack->dst = dc.id();
+    nack->payload = info.serialize();
+    net.send(receiver.id(), nack);
+  });
+
+  sim.run_until(minutes(3));
+
+  std::printf("mobility / DTN rendezvous via the caching service:\n");
+  std::printf("  uploaded while receiver offline: 500 packets\n");
+  std::printf("  pulled after coming online     : %llu packets\n",
+              static_cast<unsigned long long>(pulled));
+  std::printf("  cache served %llu pulls, %llu still stored\n",
+              static_cast<unsigned long long>(cache->stats().pull_hits),
+              static_cast<unsigned long long>(cache->store().size()));
+  std::printf("  the sender was unreachable during delivery -- the DC acted as the\n");
+  std::printf("  rendezvous point (i3/NDN/XIA-style indirection, Section 3.2).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "app/mobile.h"
+
+#include <cmath>
+
+namespace jqos::app {
+
+Samples mobile_rtt_samples(const MobileParams& params, Rng& rng, std::size_t n) {
+  Samples s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.add(rng.lognormal(std::log(params.rtt_median_ms), params.rtt_sigma));
+  }
+  return s;
+}
+
+MobileFeasibility evaluate_mobile(const MobileParams& params, Rng& rng,
+                                  std::size_t rtt_samples) {
+  MobileFeasibility f;
+  f.dup_bitrate_mbps = 2.0 * params.call_mbps;
+  f.dup_fits_typical_uplink = f.dup_bitrate_mbps <= params.uplink_min_mbps;
+  f.dup_fits_good_uplink = f.dup_bitrate_mbps <= params.uplink_max_mbps;
+  f.battery_overhead_percent =
+      100.0 * params.battery_dup_extra_mah / params.battery_base_mah;
+
+  Samples rtts = mobile_rtt_samples(params, rng, rtt_samples);
+  f.rtt_p50_ms = rtts.percentile(50);
+  f.rtt_p90_ms = rtts.percentile(90);
+  // Cooperative recovery: NACK to DC (~RTT/2) + peer solicitation round
+  // (~RTT) + recovered packet (~RTT/2) => about 2 cellular RTTs.
+  f.recovery_latency_ms = 2.0 * f.rtt_p50_ms;
+  // Interactive budget ~150 ms one way; recovery helps when it fits and the
+  // added delay is consistent (the paper's outage experiment succeeded).
+  f.recovery_feasible_interactive = f.recovery_latency_ms <= 150.0;
+  return f;
+}
+
+}  // namespace jqos::app

@@ -1,0 +1,56 @@
+// Mobile-network feasibility model (Section 6.5).
+//
+// The paper's mobile study is a set of threshold checks made from
+// measurements on LTE handsets: does duplicating a Skype stream fit in
+// typical cellular uplinks, what does duplication cost in battery, and are
+// cellular RTTs to the major clouds low enough for recovery to help. We
+// encode those measured constants and the checks themselves; the bench
+// prints the same findings table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace jqos::app {
+
+struct MobileParams {
+  // "our survey of major US carriers shows users can typically expect 2-5
+  // Mbps uplink bandwidth".
+  double uplink_min_mbps = 2.0;
+  double uplink_max_mbps = 5.0;
+  // Skype HD call bitrate and the duplicated total.
+  double call_mbps = 1.5;
+  // Battery drain measured over 20-minute calls, with and without
+  // duplication ("in both cases the battery drain was ~20 mAh").
+  double battery_base_mah = 20.0;
+  double battery_dup_extra_mah = 0.6;  // Below measurement noise.
+  // Cellular RTT to cloud providers: median 50-60 ms, p50-p90 spread
+  // 50-100 ms (1,000 pings to Amazon/Microsoft/Google over LTE).
+  double rtt_median_ms = 55.0;
+  double rtt_sigma = 0.35;  // Lognormal spread reproducing the 50-100 band.
+};
+
+struct MobileFeasibility {
+  double dup_bitrate_mbps = 0.0;
+  bool dup_fits_typical_uplink = false;   // vs uplink_min
+  bool dup_fits_good_uplink = false;      // vs uplink_max
+  double battery_overhead_percent = 0.0;
+  double rtt_p50_ms = 0.0;
+  double rtt_p90_ms = 0.0;
+  // Cooperative recovery costs ~4 host<->DC hops; feasible for apps that
+  // adapt to consistent added delay (the paper's Skype-over-LTE finding).
+  double recovery_latency_ms = 0.0;
+  bool recovery_feasible_interactive = false;
+};
+
+// Draws an RTT sample distribution and evaluates every Section 6.5 check.
+MobileFeasibility evaluate_mobile(const MobileParams& params, Rng& rng,
+                                  std::size_t rtt_samples = 1000);
+
+// RTT sample set alone (for the bench's distribution table).
+Samples mobile_rtt_samples(const MobileParams& params, Rng& rng, std::size_t n = 1000);
+
+}  // namespace jqos::app

@@ -1,0 +1,47 @@
+#include "app/psnr.h"
+
+#include <algorithm>
+
+namespace jqos::app {
+
+Samples score_video(const FrameLayout& layout, const VideoParams& video,
+                    const std::unordered_map<SeqNo, PacketOutcome>& outcomes,
+                    const PsnrParams& params, Rng& rng) {
+  Samples psnr;
+  std::size_t consecutive_frozen = 0;
+  for (const auto& frame : layout.frames) {
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i < frame.packets; ++i) {
+      const SeqNo seq = frame.first_seq + static_cast<SeqNo>(i);
+      auto it = outcomes.find(seq);
+      const bool on_time = it != outcomes.end() && it->second.delivered &&
+                           it->second.delivered_at - frame.sent_at <= params.playout_deadline;
+      if (!on_time) ++lost;
+    }
+
+    double db;
+    if (lost == 0) {
+      db = rng.normal(params.good_mean_db, params.good_stddev_db);
+      consecutive_frozen = 0;
+    } else if (lost <= video.app_fec_per_frame) {
+      // Skype's own FEC conceals the loss almost perfectly.
+      db = rng.normal(params.good_mean_db - 2.0, params.good_stddev_db);
+      consecutive_frozen = 0;
+    } else if (lost < frame.packets) {
+      db = rng.normal(params.damaged_mean_db, params.damaged_stddev_db);
+      consecutive_frozen = 0;
+    } else {
+      // Fully lost frame: the decoder repeats the previous frame; PSNR
+      // degrades as the scene drifts away from the frozen image.
+      ++consecutive_frozen;
+      const double decayed = params.freeze_start_db -
+                             params.freeze_decay_db *
+                                 static_cast<double>(consecutive_frozen - 1);
+      db = std::max(params.freeze_floor_db, decayed) + rng.normal(0.0, 1.0);
+    }
+    psnr.add(std::clamp(db, params.min_db, params.max_db));
+  }
+  return psnr;
+}
+
+}  // namespace jqos::app

@@ -1,0 +1,26 @@
+#include "app/web.h"
+
+namespace jqos::app {
+
+WebResult run_web_workload(netsim::Network& net, endpoint::Sender& server,
+                           endpoint::Receiver& client, endpoint::SessionManager& sessions,
+                           const endpoint::RegisterRequest& session_template,
+                           const WebWorkloadParams& params, SimDuration hard_deadline) {
+  transport::TcpWorkload workload(net, server, client, sessions, session_template,
+                                  params.tcp);
+  bool done = false;
+  workload.run(params.requests, params.response_bytes, params.request_bytes,
+               [&done] { done = true; });
+  const SimTime deadline = net.sim().now() + hard_deadline;
+  while (!done && net.sim().now() < deadline && !net.sim().idle()) {
+    net.sim().step(10000);
+  }
+  WebResult result;
+  result.fct_ms = workload.fct_ms();
+  result.server = workload.server_stats();
+  result.acks = workload.acks_sent();
+  result.completed = workload.completed();
+  return result;
+}
+
+}  // namespace jqos::app

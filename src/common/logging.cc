@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace jqos {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed)); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= g_threshold.load(std::memory_order_relaxed);
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Serialize whole lines; the live runtime logs from several threads.
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", to_string(level), basename_of(file), line,
+               msg.c_str());
+}
+
+}  // namespace jqos

@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// Experiments run millions of simulated packets, so logging must be cheap
+// when disabled: the JQOS_LOG macro evaluates its stream expression only if
+// the level is enabled. Output goes to stderr so bench binaries can print
+// clean result tables on stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jqos {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+// Global threshold; messages below it are discarded. Defaults to kWarn so
+// test and bench output stays quiet unless a run opts in.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+bool log_enabled(LogLevel level);
+
+// Emits one formatted line: "[LEVEL file:line] message".
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+
+const char* to_string(LogLevel level);
+
+}  // namespace jqos
+
+#define JQOS_LOG(level, expr)                                              \
+  do {                                                                     \
+    if (::jqos::log_enabled(level)) {                                      \
+      std::ostringstream jqos_log_os;                                      \
+      jqos_log_os << expr;                                                 \
+      ::jqos::log_line(level, __FILE__, __LINE__, jqos_log_os.str());      \
+    }                                                                      \
+  } while (0)
+
+#define JQOS_TRACE(expr) JQOS_LOG(::jqos::LogLevel::kTrace, expr)
+#define JQOS_DEBUG(expr) JQOS_LOG(::jqos::LogLevel::kDebug, expr)
+#define JQOS_INFO(expr) JQOS_LOG(::jqos::LogLevel::kInfo, expr)
+#define JQOS_WARN(expr) JQOS_LOG(::jqos::LogLevel::kWarn, expr)
+#define JQOS_ERROR(expr) JQOS_LOG(::jqos::LogLevel::kError, expr)

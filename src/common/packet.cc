@@ -1,0 +1,188 @@
+#include "common/packet.h"
+
+#include <sstream>
+
+#include "common/wire.h"
+
+namespace jqos {
+
+namespace {
+constexpr std::uint8_t kWireVersion = 1;
+// version(1) + type(1) + service(1) + flow(4) + seq(4) + src(4) + dst(4)
+// + final_dst(4) + sent_at(8) + has_meta(1) + payload length prefix(4)
+constexpr std::size_t kHeaderBytes = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 1 + 4;
+}  // namespace
+
+const char* to_string(ServiceType s) {
+  switch (s) {
+    case ServiceType::kNone: return "none";
+    case ServiceType::kForward: return "forward";
+    case ServiceType::kCache: return "cache";
+    case ServiceType::kCode: return "code";
+  }
+  return "?";
+}
+
+std::string to_string(const PacketKey& key) {
+  std::ostringstream os;
+  os << "flow=" << key.flow << "/seq=" << key.seq;
+  return os.str();
+}
+
+std::string format_duration(SimDuration d) {
+  std::ostringstream os;
+  if (d < 0) {
+    os << "-";
+    d = -d;
+  }
+  if (d < 1000) {
+    os << d << "us";
+  } else if (d < 1000 * 1000) {
+    os << to_ms(d) << "ms";
+  } else {
+    os << to_sec(d) << "s";
+  }
+  return os.str();
+}
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kInCoded: return "IN_CODED";
+    case PacketType::kCrossCoded: return "CROSS_CODED";
+    case PacketType::kNack: return "NACK";
+    case PacketType::kNackCheck: return "NACK_CHECK";
+    case PacketType::kNackConfirm: return "NACK_CONFIRM";
+    case PacketType::kPull: return "PULL";
+    case PacketType::kCoopRequest: return "COOP_REQUEST";
+    case PacketType::kCoopResponse: return "COOP_RESPONSE";
+    case PacketType::kRecovered: return "RECOVERED";
+    case PacketType::kControl: return "CONTROL";
+  }
+  return "UNKNOWN";
+}
+
+std::size_t packet_header_bytes() { return kHeaderBytes; }
+
+std::size_t Packet::wire_size() const {
+  std::size_t n = kHeaderBytes + payload.size();
+  if (meta) {
+    // batch_id(4) + index(1) + k(1) + r(1) + count(4) + 8 bytes per key
+    n += 4 + 1 + 1 + 1 + 4 + meta->covered.size() * 8;
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  ByteWriter w(wire_size());
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(static_cast<std::uint8_t>(service));
+  w.u32(flow);
+  w.u32(seq);
+  w.u32(src);
+  w.u32(dst);
+  w.u32(final_dst);
+  w.i64(sent_at);
+  w.u8(meta ? 1 : 0);
+  if (meta) {
+    w.u32(meta->batch_id);
+    w.u8(meta->index);
+    w.u8(meta->k);
+    w.u8(meta->r);
+    w.u32(static_cast<std::uint32_t>(meta->covered.size()));
+    for (const PacketKey& key : meta->covered) {
+      w.u32(key.flow);
+      w.u32(key.seq);
+    }
+  }
+  w.var_bytes(payload);
+  return w.take();
+}
+
+std::optional<Packet> Packet::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u8() != kWireVersion) return std::nullopt;
+  Packet p;
+  std::uint8_t type_raw = r.u8();
+  if (type_raw > static_cast<std::uint8_t>(PacketType::kControl)) return std::nullopt;
+  p.type = static_cast<PacketType>(type_raw);
+  std::uint8_t service_raw = r.u8();
+  if (service_raw > static_cast<std::uint8_t>(ServiceType::kCode)) return std::nullopt;
+  p.service = static_cast<ServiceType>(service_raw);
+  p.flow = r.u32();
+  p.seq = r.u32();
+  p.src = r.u32();
+  p.dst = r.u32();
+  p.final_dst = r.u32();
+  p.sent_at = r.i64();
+  if (r.u8() != 0) {
+    CodedMeta m;
+    m.batch_id = r.u32();
+    m.index = r.u8();
+    m.k = r.u8();
+    m.r = r.u8();
+    std::uint32_t n = r.u32();
+    // A coded batch never spans more than 255 packets (k and r are u8).
+    if (n > 255 + 255u) return std::nullopt;
+    m.covered.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      PacketKey key;
+      key.flow = r.u32();
+      key.seq = r.u32();
+      m.covered.push_back(key);
+    }
+    p.meta = std::move(m);
+  }
+  p.payload = r.var_bytes();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+PacketPtr make_data_packet(FlowId flow, SeqNo seq, NodeId src, NodeId dst,
+                           SimTime now, std::size_t payload_bytes) {
+  auto p = std::make_shared<Packet>();
+  p->type = PacketType::kData;
+  p->flow = flow;
+  p->seq = seq;
+  p->src = src;
+  p->dst = dst;
+  p->sent_at = now;
+  p->payload.assign(payload_bytes, 0);
+  return p;
+}
+
+std::vector<std::uint8_t> NackInfo::serialize() const {
+  ByteWriter w(1 + 4 + 4 + missing.size() * 4);
+  w.u8(tail ? 1 : 0);
+  w.u32(expected);
+  w.u32(static_cast<std::uint32_t>(missing.size()));
+  for (SeqNo s : missing) w.u32(s);
+  return w.take();
+}
+
+std::optional<NackInfo> NackInfo::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  NackInfo n;
+  n.tail = r.u8() != 0;
+  n.expected = r.u32();
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 4) return std::nullopt;
+  n.missing.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) n.missing.push_back(r.u32());
+  if (!r.ok()) return std::nullopt;
+  return n;
+}
+
+PacketPtr make_control_packet(NodeId src, NodeId dst, SimTime now,
+                              std::vector<std::uint8_t> payload) {
+  auto p = std::make_shared<Packet>();
+  p->type = PacketType::kControl;
+  p->src = src;
+  p->dst = dst;
+  p->sent_at = now;
+  p->payload = std::move(payload);
+  return p;
+}
+
+}  // namespace jqos

@@ -1,0 +1,132 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace jqos {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64: seeds the xoshiro state from a single 64-bit value, and also
+// serves as the mixing function for fork().
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over the label, to namespace forked children.
+std::uint64_t hash_label(std::string_view label) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  has_spare_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = span * (UINT64_MAX / span);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit && limit != 0);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::pareto(double xm, double alpha) {
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::uint32_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // workload generators that use large means (e.g. OFF periods).
+    double v = normal(mean, std::sqrt(mean)) + 0.5;
+    if (v < 0.0) v = 0.0;
+    return static_cast<std::uint32_t>(v);
+  }
+  const double limit = std::exp(-mean);
+  double prod = next_double();
+  std::uint32_t n = 0;
+  while (prod > limit) {
+    prod *= next_double();
+    ++n;
+  }
+  return n;
+}
+
+Rng Rng::fork(std::string_view label) {
+  // Derive the child's seed from fresh parent output mixed with the label so
+  // distinct labels (and successive forks with the same label) all differ.
+  std::uint64_t seed = next_u64() ^ hash_label(label);
+  return Rng(seed);
+}
+
+}  // namespace jqos

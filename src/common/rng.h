@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (loss models, jitter, workload generators, host
+// synthesis) draws from an explicitly seeded Rng so that experiments are
+// reproducible run to run and so tests can pin exact traces. Components that
+// need independent streams derive child generators with fork(), which mixes
+// the parent seed with a label; this keeps parallel experiment shards
+// uncorrelated without global state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jqos {
+
+// xoshiro256** by Blackman & Vigna: fast, 2^256-1 period, passes BigCrush.
+// We implement it directly (no <random> engine) so results are identical
+// across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  // Standard normal via Box-Muller, scaled to (mean, stddev).
+  double normal(double mean, double stddev);
+
+  // Log-normal such that the *underlying* normal has parameters (mu, sigma).
+  // Used for Internet path jitter which is heavy-tailed.
+  double lognormal(double mu, double sigma);
+
+  // Pareto with scale xm > 0 and shape alpha > 0; heavy-tailed delays.
+  double pareto(double xm, double alpha);
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64).
+  std::uint32_t poisson(double mean);
+
+  // A child generator whose stream is independent of this one; `label`
+  // namespaces children so e.g. fork("loss") and fork("jitter") differ.
+  Rng fork(std::string_view label);
+
+ private:
+  std::uint64_t s_[4];
+  // Box-Muller produces values in pairs; cache the spare.
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace jqos

@@ -1,0 +1,103 @@
+// Statistics utilities used throughout the evaluation harness: streaming
+// moments, sample sets with percentile/CDF/CCDF extraction, and fixed-bin
+// histograms (e.g. the PSNR bins of Figure 9(a)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jqos {
+
+// Streaming count/mean/variance/min/max (Welford). O(1) memory, suitable for
+// per-path counters in month-long simulated deployments.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // Population variance.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// A collected sample set with percentile and distribution queries. Sorting
+// is lazy and cached; add() invalidates the cache.
+class Samples {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  // Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  // Fraction of samples <= x (the empirical CDF evaluated at x).
+  double cdf_at(double x) const;
+  // Fraction of samples > x.
+  double ccdf_at(double x) const { return 1.0 - cdf_at(x); }
+
+  // n evenly spaced (value, cumulative fraction) points, suitable for
+  // printing a CDF series like the paper's figures.
+  struct CdfPoint {
+    double value;
+    double fraction;
+  };
+  std::vector<CdfPoint> cdf_points(std::size_t n = 20) const;
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-width binned histogram over [lo, hi); out-of-range samples clamp to
+// the end bins (the paper's PSNR CDF clamps scores the same way).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  // Cumulative fraction of samples in bins [0, i].
+  double cumulative_fraction(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Renders "p50=.. p90=.. p99=.." for log lines and reports.
+std::string summarize_percentiles(const Samples& s);
+
+}  // namespace jqos

@@ -1,0 +1,78 @@
+// Endian-safe byte-buffer reader/writer for the J-QoS wire format.
+//
+// All multi-byte integers are encoded big-endian (network order). The same
+// encoder/decoder pair is used by the simulator (to keep simulated packets
+// honest about their on-the-wire size) and by the live UDP runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jqos {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  // Raw bytes, no length prefix.
+  void bytes(std::span<const std::uint8_t> data);
+
+  // Length-prefixed (u32) byte string.
+  void var_bytes(std::span<const std::uint8_t> data);
+
+  // Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Reads the format produced by ByteWriter. All accessors set the error flag
+// (and return 0 / empty) on underflow instead of throwing, because the live
+// runtime must survive malformed datagrams from the network; callers check
+// ok() once after parsing a whole header.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  // Reads exactly n raw bytes.
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+  // Reads a u32 length prefix then that many bytes.
+  std::vector<std::uint8_t> var_bytes();
+
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ensure(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace jqos

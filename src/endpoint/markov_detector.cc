@@ -1,0 +1,63 @@
+#include "endpoint/markov_detector.h"
+
+#include <algorithm>
+
+namespace jqos::endpoint {
+
+MarkovDetector::MarkovDetector(const MarkovParams& params, SimDuration rtt_estimate)
+    : params_(params), rtt_(rtt_estimate), small_(params.small_timeout) {}
+
+SimDuration MarkovDetector::long_timeout() const {
+  const auto scaled =
+      static_cast<SimDuration>(static_cast<double>(rtt_) * params_.long_rtt_multiplier);
+  return std::max(scaled, params_.min_long_timeout);
+}
+
+SimDuration MarkovDetector::current_timeout() const {
+  return state_ == State::kShort ? small_ : long_timeout();
+}
+
+SimDuration MarkovDetector::on_arrival(SimTime now) {
+  if (last_arrival_ >= 0) {
+    const SimDuration gap = now - last_arrival_;
+    if (params_.adaptive) {
+      // Learn the within-burst inter-arrival from any gap clearly below the
+      // session/burst boundary scale (a fraction of the RTT), so low-rate
+      // streams (e.g. 40 ms CBR spacing) still train the small timeout.
+      const SimDuration learn_cutoff = (2 * long_timeout()) / 3;
+      if (gap <= learn_cutoff) {
+        if (!have_ewma_) {
+          ewma_gap_ = static_cast<double>(gap);
+          have_ewma_ = true;
+        } else {
+          ewma_gap_ = (1.0 - params_.ewma_alpha) * ewma_gap_ +
+                      params_.ewma_alpha * static_cast<double>(gap);
+        }
+        // The learned small timeout may exceed the configured default for
+        // slow streams, but must stay well below the long timeout to keep
+        // the two states meaningfully apart.
+        const auto learned = static_cast<SimDuration>(params_.ewma_multiplier * ewma_gap_);
+        const SimDuration upper = std::max(params_.small_timeout, learn_cutoff);
+        small_ = std::clamp(learned, params_.min_small_timeout, upper);
+      }
+    }
+    const auto burst_gap =
+        static_cast<SimDuration>(params_.burst_factor * static_cast<double>(small_));
+    state_ = gap <= burst_gap ? State::kShort : State::kLong;
+  }
+  last_arrival_ = now;
+  return current_timeout();
+}
+
+SimDuration MarkovDetector::on_timeout() {
+  // "It remains in this state until the small timeout expires and switches
+  // immediately to the long timeout value after sending a NACK."
+  state_ = State::kLong;
+  return current_timeout();
+}
+
+void MarkovDetector::update_rtt(SimDuration rtt) {
+  if (rtt > 0) rtt_ = rtt;
+}
+
+}  // namespace jqos::endpoint

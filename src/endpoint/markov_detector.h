@@ -1,0 +1,70 @@
+// Two-state Markov timeout model for receiver-driven loss detection
+// (Section 3.4).
+//
+// The receiver cannot use sender-style RTO timers (it does not know when
+// packets were sent), so it learns packet arrival patterns instead: a SHORT
+// state with a small timeout while packets arrive in a burst, and a LONG
+// state with an RTT-scale timeout across bursts / application sessions.
+// The transition rules follow the paper: start LONG; short inter-arrivals
+// move to SHORT; a SHORT-state expiry emits a NACK and drops immediately
+// back to LONG. The small timeout value is learned from observed
+// intra-burst inter-arrival times (EWMA), defaulting to the prototype's
+// 25 ms.
+#pragma once
+
+#include "common/sim_time.h"
+
+namespace jqos::endpoint {
+
+struct MarkovParams {
+  // The prototype's fixed small timer (Section 5). When `adaptive` is set
+  // this is the initial value and upper bound.
+  SimDuration small_timeout = msec(25);
+  // Long timeout = max(rtt * long_rtt_multiplier, min_long_timeout).
+  double long_rtt_multiplier = 1.0;
+  SimDuration min_long_timeout = msec(50);
+  // Inter-arrivals below `burst_factor * small_timeout` count as "within a
+  // burst" and flip the detector to SHORT.
+  double burst_factor = 1.0;
+  // Learn the small timeout as clamp(ewma_multiplier * EWMA(intra-burst
+  // inter-arrival), min_small_timeout, small_timeout).
+  bool adaptive = true;
+  double ewma_alpha = 0.2;
+  double ewma_multiplier = 3.0;
+  SimDuration min_small_timeout = msec(2);
+};
+
+class MarkovDetector {
+ public:
+  enum class State { kLong, kShort };
+
+  MarkovDetector(const MarkovParams& params, SimDuration rtt_estimate);
+
+  // Records a direct-path packet arrival; returns the timeout to arm for
+  // the *next* expected packet.
+  SimDuration on_arrival(SimTime now);
+
+  // Records that the armed timer expired (caller sends a NACK when in
+  // SHORT state); transitions SHORT -> LONG per the model and returns the
+  // timeout to arm next.
+  SimDuration on_timeout();
+
+  // Updates the RTT estimate the long timeout derives from.
+  void update_rtt(SimDuration rtt);
+
+  State state() const { return state_; }
+  SimDuration current_timeout() const;
+  SimDuration small_timeout() const { return small_; }
+  SimDuration long_timeout() const;
+
+ private:
+  MarkovParams params_;
+  SimDuration rtt_;
+  State state_ = State::kLong;
+  SimTime last_arrival_ = -1;
+  SimDuration small_;
+  double ewma_gap_ = 0.0;
+  bool have_ewma_ = false;
+};
+
+}  // namespace jqos::endpoint

@@ -1,0 +1,196 @@
+// The J-QoS receiver: the end-point half of the reliability layer that
+// logically sits between transport and network (Section 3.4, Section 5).
+//
+// Responsibilities:
+//  * deliver direct-path packets up the stack and track per-flow sequence
+//    state (gap detection);
+//  * run the two-state Markov timeout to catch tail losses with no
+//    subsequent packet to reveal the gap;
+//  * issue NACKs to the nearby DC (DC2) and account recovery latency;
+//  * buffer recent data packets so it can (a) answer cooperative-recovery
+//    requests for other receivers' losses and (b) locally decode in-stream
+//    coded packets sent by DC2;
+//  * answer DC2's NackCheck probes (spurious-recovery guard).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/packet.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "endpoint/markov_detector.h"
+#include "netsim/network.h"
+
+namespace jqos::endpoint {
+
+struct ReceiverConfig {
+  // DC the receiver recovers through (its nearby DC2); kInvalidNode
+  // disables recovery entirely (plain Internet receiver).
+  NodeId dc2 = kInvalidNode;
+  // Service NACKs are addressed to at DC2 (kCode -> CR-WAN recovery,
+  // kCache -> cache pulls); set by the service-selection decision.
+  ServiceType recovery_service = ServiceType::kCode;
+  // Initial direct-path RTT estimate for the long timeout.
+  SimDuration rtt_estimate = msec(100);
+  MarkovParams markov;
+  // Ablation D3: false replaces the two-state model with a single fixed
+  // timeout of `single_timeout` (Section 6.4 reports 5x more NACKs).
+  bool use_markov = true;
+  SimDuration single_timeout = msec(25);
+  // Per-flow history buffer (cooperative responses / in-stream decode).
+  std::size_t buffer_packets = 1024;
+  // A missing packet not recovered within this span is declared lost (the
+  // paper counts recovery beyond one RTT as a loss); 0 means one RTT.
+  SimDuration recovery_give_up = 0;
+  // Re-NACK interval for still-missing packets (retries lost NACKs).
+  SimDuration renack_interval = msec(100);
+  // Timer management: stop the per-flow timer after this much inactivity.
+  SimDuration idle_stop = sec(2);
+  // How long a cooperative request for a not-yet-received packet is held
+  // before being dropped (covers direct-path delay spread across peers).
+  SimDuration coop_defer_window = msec(150);
+  // Straggler model for cooperative-recovery responses: with probability
+  // `coop_slow_prob` a response is delayed by a uniform draw from
+  // [coop_slow_min, coop_slow_max] (loaded hosts, scheduling jitter --
+  // the behaviour the extra cross-coded packets protect against).
+  double coop_slow_prob = 0.0;
+  SimDuration coop_slow_min = msec(120);
+  SimDuration coop_slow_max = msec(450);
+  std::uint64_t rng_seed = 1;
+};
+
+// One record per packet the application layer learns about.
+struct DeliveryRecord {
+  FlowId flow = 0;
+  SeqNo seq = 0;
+  SimTime sent_at = 0;       // 0 when unknown (recovered packets).
+  SimTime delivered_at = 0;
+  bool recovered = false;    // Arrived via J-QoS recovery, not direct path.
+  bool lost = false;         // Gave up: never delivered.
+  // The direct-path copy arrived after the packet had already been
+  // delivered (usually after a recovery raced a delay spike): the packet
+  // was late, not lost. Consumers use this to reclassify.
+  bool late_direct = false;
+  SimTime detected_missing_at = 0;  // When the gap/timer fired (if ever).
+};
+
+struct ReceiverStats {
+  std::uint64_t delivered_direct = 0;
+  std::uint64_t delivered_recovered = 0;
+  std::uint64_t self_decoded = 0;       // In-stream decodes at the receiver.
+  std::uint64_t duplicates = 0;
+  std::uint64_t losses_detected = 0;
+  std::uint64_t losses_given_up = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t tail_nacks_sent = 0;
+  std::uint64_t nack_confirms_sent = 0;
+  std::uint64_t coop_responses_sent = 0;
+  std::uint64_t coop_misses = 0;        // Asked for a packet we also lack.
+  std::uint64_t coop_deferred = 0;      // Answered once the packet arrived.
+  std::uint64_t spurious_timeouts = 0;  // Timer fired, nothing was missing.
+  std::uint64_t suspected_tail_dropped = 0;  // Timer suspicions never confirmed.
+};
+
+class Receiver final : public netsim::Node {
+ public:
+  // `pkt` is the delivered packet (payload for the upper layer); nullptr
+  // for records that report a given-up loss.
+  using DeliverFn = std::function<void(const DeliveryRecord&, const PacketPtr& pkt)>;
+
+  Receiver(netsim::Network& net, const ReceiverConfig& config, DeliverFn on_delivery = {});
+
+  NodeId id() const override { return node_id_; }
+
+  // Replaces the delivery upcall (used when the upper layer is constructed
+  // after the receiver, e.g. the TCP model).
+  void set_delivery_handler(DeliverFn fn) { on_delivery_ = std::move(fn); }
+
+  // Starts tracking a flow (first expected sequence number is 0).
+  void expect_flow(FlowId flow);
+
+  void handle_packet(const PacketPtr& pkt) override;
+
+  const ReceiverStats& stats() const { return stats_; }
+  // Recovery latency samples (detection -> recovered delivery), in ms.
+  const Samples& recovery_delay_ms() const { return recovery_delay_ms_; }
+  // One-way delivery delay samples for direct-path packets, in ms.
+  const Samples& direct_delay_ms() const { return direct_delay_ms_; }
+
+  // Estimated RTT feed (e.g. from the scenario builder's path data).
+  void set_rtt_estimate(SimDuration rtt);
+
+ private:
+  struct MissingInfo {
+    SimTime detected_at = 0;
+    SimTime last_nack_at = 0;
+    int nack_count = 0;
+  };
+
+  struct FlowState {
+    SeqNo next_expected = 0;
+    // Contiguity edge: all seq < next_expected are delivered, recovered, or
+    // given up. Gaps above the edge live in `missing`; out-of-order
+    // arrivals above the edge in `arrived_ahead`.
+    std::map<SeqNo, MissingInfo> missing;
+    std::map<SeqNo, bool> arrived_ahead;  // value: was it `recovered`?
+    // Recent packets for coop responses / self-decode, FIFO-bounded.
+    std::unordered_map<SeqNo, PacketPtr> buffer;
+    std::deque<SeqNo> buffer_order;
+    // Cooperative requests for packets that have not arrived yet (the
+    // requester's detection raced our slower direct path): answered as
+    // soon as the packet lands, dropped after a short window.
+    std::map<SeqNo, std::pair<PacketPtr, SimTime>> deferred_coop;
+    // In-stream coded packets by batch, kept until decode or eviction.
+    std::unordered_map<std::uint32_t, std::vector<PacketPtr>> in_coded;
+    std::deque<std::uint32_t> in_coded_order;
+    MarkovDetector detector;
+    netsim::EventId timer = 0;
+    bool timer_armed = false;
+    std::uint64_t timer_gen = 0;
+    SimTime last_arrival = -1;   // Last direct-path arrival (Markov input).
+    SimTime last_activity = -1;  // Any delivery, incl. recoveries: keeps the
+                                 // timer alive through outages so tail
+                                 // recovery continues wave after wave.
+    // One past the highest sequence number with delivery evidence; holes at
+    // or above this may be timer suspicions about packets that were never
+    // sent (burst boundary), so they are dropped silently on give-up.
+    SeqNo evidence_horizon = 0;
+
+    explicit FlowState(const MarkovDetector& d) : detector(d) {}
+  };
+
+  void on_data(const PacketPtr& pkt, bool recovered);
+  void on_in_coded(const PacketPtr& pkt);
+  void on_coop_request(const PacketPtr& pkt);
+  void on_nack_check(const PacketPtr& pkt);
+  void on_timer(FlowId flow, std::uint64_t gen);
+
+  void note_missing(FlowState& fs, FlowId flow, SeqNo from, SeqNo to_exclusive);
+  void send_nack(FlowId flow, FlowState& fs, const std::vector<SeqNo>& missing, bool tail);
+  void deliver(FlowId flow, SeqNo seq, const PacketPtr& pkt, bool recovered,
+               SimTime detected_at);
+  void advance_contiguity(FlowState& fs, FlowId flow);
+  void remember(FlowState& fs, const PacketPtr& pkt);
+  void try_self_decode(FlowId flow, FlowState& fs, std::uint32_t batch_id);
+  void give_up_stale(FlowId flow, FlowState& fs);
+  void arm_timer(FlowId flow, FlowState& fs, SimDuration timeout);
+  bool is_missing_or_future(const FlowState& fs, SeqNo seq) const;
+  SimDuration give_up_span(const FlowState& fs) const;
+
+  netsim::Network& net_;
+  NodeId node_id_;
+  ReceiverConfig config_;
+  DeliverFn on_delivery_;
+  Rng rng_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  ReceiverStats stats_;
+  Samples recovery_delay_ms_;
+  Samples direct_delay_ms_;
+};
+
+}  // namespace jqos::endpoint

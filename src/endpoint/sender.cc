@@ -1,0 +1,82 @@
+#include "endpoint/sender.h"
+
+#include <stdexcept>
+
+namespace jqos::endpoint {
+
+Sender::Sender(netsim::Network& net) : net_(net), node_id_(net.allocate_id()) {
+  net_.attach(*this);
+}
+
+void Sender::register_flow(FlowId flow, const SenderPolicy& policy) {
+  FlowState fs;
+  fs.policy = policy;
+  // Default the cloud landing point per service semantics.
+  if (fs.policy.cloud_final_dst == kInvalidNode) {
+    switch (fs.policy.service) {
+      case ServiceType::kForward: fs.policy.cloud_final_dst = policy.receiver; break;
+      case ServiceType::kCache:
+      case ServiceType::kCode:
+      case ServiceType::kNone: fs.policy.cloud_final_dst = policy.dc1; break;
+    }
+  }
+  flows_[flow] = std::move(fs);
+}
+
+SeqNo Sender::send(FlowId flow, std::size_t payload_bytes) {
+  return send_payload(flow, std::vector<std::uint8_t>(payload_bytes, 0));
+}
+
+SeqNo Sender::send_payload(FlowId flow, std::vector<std::uint8_t> payload) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) throw std::invalid_argument("Sender: unregistered flow");
+  return transmit(flow, it->second, std::move(payload));
+}
+
+SeqNo Sender::transmit(FlowId flow, FlowState& fs, std::vector<std::uint8_t> payload) {
+  const SeqNo seq = fs.next_seq++;
+  const SimTime now = net_.sim().now();
+  ++stats_.app_packets;
+
+  auto base = std::make_shared<Packet>();
+  base->type = PacketType::kData;
+  base->flow = flow;
+  base->seq = seq;
+  base->src = node_id_;
+  base->sent_at = now;
+  base->payload = std::move(payload);
+
+  if (fs.policy.send_direct && fs.policy.receiver != kInvalidNode) {
+    auto direct = std::make_shared<Packet>(*base);
+    direct->service = ServiceType::kNone;
+    direct->dst = fs.policy.receiver;
+    direct->final_dst = fs.policy.receiver;
+    ++stats_.direct_sent;
+    net_.send(node_id_, direct);
+  }
+
+  if (fs.policy.duplicate_to_cloud && fs.policy.dc1 != kInvalidNode) {
+    if (fs.policy.duplicate_filter && !fs.policy.duplicate_filter(*base)) {
+      ++stats_.filtered;
+    } else {
+      auto cloud = std::make_shared<Packet>(*base);
+      cloud->service = fs.policy.service;
+      cloud->dst = fs.policy.dc1;
+      cloud->final_dst = fs.policy.cloud_final_dst;
+      ++stats_.cloud_sent;
+      net_.send(node_id_, cloud);
+    }
+  }
+  return seq;
+}
+
+void Sender::handle_packet(const PacketPtr& pkt) {
+  if (on_receive_) on_receive_(pkt);
+}
+
+SeqNo Sender::next_seq(FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.next_seq;
+}
+
+}  // namespace jqos::endpoint

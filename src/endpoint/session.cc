@@ -1,0 +1,39 @@
+#include "endpoint/session.h"
+
+namespace jqos::endpoint {
+
+Session SessionManager::register_flow(Sender& sender, Receiver& receiver,
+                                      const RegisterRequest& req) {
+  Session session;
+  session.flow = next_flow_++;
+
+  if (req.force_service) {
+    session.quote.service = *req.force_service;
+    session.quote.expected_delay_ms = expected_delay_ms(*req.force_service, req.delays);
+    session.quote.relative_cost = relative_cost(*req.force_service, req.coding_rate);
+  } else {
+    session.quote = select_service(req.delays, req.latency_budget_ms, req.coding_rate);
+  }
+
+  SenderPolicy policy;
+  policy.service = session.quote.service;
+  policy.send_direct = req.send_direct;
+  policy.duplicate_to_cloud = session.quote.service != ServiceType::kNone;
+  policy.dc1 = req.dc1;
+  policy.receiver = receiver.id();
+  policy.duplicate_filter = req.duplicate_filter;
+  // Caching stores near the receiver: the cloud copy must land at DC2.
+  if (session.quote.service == ServiceType::kCache) policy.cloud_final_dst = req.dc2;
+  sender.register_flow(session.flow, policy);
+
+  receiver.expect_flow(session.flow);
+
+  services::FlowInfo info;
+  info.dc2 = req.dc2;
+  info.receiver = receiver.id();
+  registry_->register_flow(session.flow, info);
+
+  return session;
+}
+
+}  // namespace jqos::endpoint

@@ -1,0 +1,56 @@
+// The register(...) API (Section 3.5): the entry point applications use.
+//
+// An application states its destination and latency budget; the framework
+// selects the cheapest service that meets the budget, configures the sender
+// (duplication policy), the receiver (flow tracking, recovery target), and
+// the DC-side flow registry (so encoders know each flow's DC2/receiver),
+// and hands back a Session describing the decision.
+#pragma once
+
+#include <cstdint>
+
+#include "endpoint/receiver.h"
+#include "endpoint/sender.h"
+#include "endpoint/service_selector.h"
+#include "services/coding/coding_plan.h"
+
+namespace jqos::endpoint {
+
+struct RegisterRequest {
+  // Application-facing inputs.
+  double latency_budget_ms = 150.0;
+  PathDelays delays;         // Estimated/pre-computed per Section 3.5.
+  double coding_rate = 2.0 / 6.0;
+
+  // Topology handles (set up by the deployment).
+  NodeId dc1 = kInvalidNode;  // DC near the sender (encode/ingress point).
+  NodeId dc2 = kInvalidNode;  // DC near the receiver (recovery point).
+
+  // Overrides: force a service instead of selecting by budget, drop the
+  // direct path (path switching), or duplicate selectively.
+  std::optional<ServiceType> force_service;
+  bool send_direct = true;
+  std::function<bool(const Packet&)> duplicate_filter;
+};
+
+struct Session {
+  FlowId flow = 0;
+  ServiceQuote quote;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(services::FlowRegistryPtr registry)
+      : registry_(std::move(registry)) {}
+
+  // Registers a new flow from `sender` to `receiver` and wires every layer.
+  Session register_flow(Sender& sender, Receiver& receiver, const RegisterRequest& req);
+
+  const services::FlowRegistry& registry() const { return *registry_; }
+
+ private:
+  services::FlowRegistryPtr registry_;
+  FlowId next_flow_ = 1;
+};
+
+}  // namespace jqos::endpoint

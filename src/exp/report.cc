@@ -1,0 +1,60 @@
+#include "exp/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace jqos::exp {
+
+void print_cdf(const std::string& title, const Samples& samples, std::size_t points) {
+  std::printf("# CDF: %s (n=%zu)\n", title.c_str(), samples.count());
+  for (const auto& p : samples.cdf_points(points)) {
+    std::printf("%.3f\t%.3f\n", p.value, p.fraction);
+  }
+}
+
+void print_ccdf(const std::string& title, const Samples& samples, std::size_t points) {
+  std::printf("# CCDF: %s (n=%zu)\n", title.c_str(), samples.count());
+  for (const auto& p : samples.cdf_points(points)) {
+    std::printf("%.3f\t%.3f\n", p.value, 1.0 - p.fraction);
+  }
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("# TABLE: %s\n", title.c_str());
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(i < widths.size() ? widths[i] : 0),
+                  row[i].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_claim(const std::string& experiment, const std::string& paper_claim,
+                 const std::string& measured) {
+  std::printf("CLAIM\t%s\tpaper:[%s]\tmeasured:[%s]\n", experiment.c_str(),
+              paper_claim.c_str(), measured.c_str());
+}
+
+}  // namespace jqos::exp

@@ -1,0 +1,38 @@
+// Result-table and CDF-series printers shared by the bench binaries. All
+// output goes to stdout in a stable, grep-friendly format: one header line
+// per series/table, then rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace jqos::exp {
+
+// Prints "# <title>" followed by "value<TAB>cdf" rows (n+1 points).
+void print_cdf(const std::string& title, const Samples& samples, std::size_t points = 20);
+
+// Prints a CCDF series ("value<TAB>ccdf").
+void print_ccdf(const std::string& title, const Samples& samples, std::size_t points = 20);
+
+// Simple fixed-width table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(const std::string& title) const;
+
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "paper vs measured" one-liner used by EXPERIMENTS.md generation.
+void print_claim(const std::string& experiment, const std::string& paper_claim,
+                 const std::string& measured);
+
+}  // namespace jqos::exp

@@ -1,0 +1,263 @@
+#include "exp/scenario.h"
+
+#include <algorithm>
+#include <set>
+
+#include "netsim/latency_model.h"
+
+namespace jqos::exp {
+
+WanScenario::WanScenario(std::vector<geo::PathSample> paths, const WanScenarioParams& params)
+    : params_(params),
+      net_(sim_),
+      rng_(params.seed),
+      registry_(std::make_shared<services::FlowRegistry>()),
+      sessions_(registry_) {
+  build_overlay(paths);
+  for (auto& sample : paths) build_path(std::move(sample));
+}
+
+WanScenario::~WanScenario() = default;
+
+void WanScenario::build_overlay(const std::vector<geo::PathSample>& paths) {
+  // Collect the distinct cloud sites the paths touch.
+  std::set<std::string> names;
+  std::vector<geo::CloudSite> sites;
+  for (const auto& p : paths) {
+    for (const geo::CloudSite* site : {&p.dc1, &p.dc2}) {
+      if (names.insert(site->name).second) sites.push_back(*site);
+    }
+  }
+  overlay_ = std::make_unique<overlay::OverlayNetwork>(net_, sites, params_.overlay, rng_);
+
+  // Install the full service stack on every DC. Forwarding runs first (it
+  // claims in-transit packets), then the local services.
+  for (std::size_t i = 0; i < overlay_->dc_count(); ++i) {
+    overlay::DataCenter& dc = overlay_->dc(i);
+    auto fwd = std::make_shared<services::ForwardingService>();
+    forwarders_.push_back(fwd);
+    dc.install(fwd);
+    dc.install(std::make_shared<services::CachingService>());
+    auto encoder =
+        std::make_shared<services::CodingEncoderService>(dc, params_.coding, registry_);
+    encoders_.push_back(encoder);
+    dc.install(encoder);
+    auto recovery =
+        std::make_shared<services::RecoveryService>(dc, params_.recovery, registry_);
+    recoverers_.push_back(recovery);
+    dc.install(recovery);
+  }
+}
+
+void WanScenario::build_path(geo::PathSample sample) {
+  auto rt = std::make_unique<PathRuntime>();
+  rt->path = sample;
+  rt->label = geo::region_pair_label(sample);
+  rt->rtt_ms = 2.0 * sample.y_ms;
+  rt->give_up_rtts = params_.give_up_rtts;
+  rt->flow = next_flow_++;
+  rt->dc1 = overlay_->dc_by_site(sample.dc1.name);
+  rt->dc2 = overlay_->dc_by_site(sample.dc2.name);
+
+  // --- endpoints ---
+  rt->sender = std::make_unique<endpoint::Sender>(net_);
+
+  endpoint::ReceiverConfig rc;
+  rc.dc2 = rt->dc2->id();
+  rc.recovery_service =
+      params_.service == ServiceType::kCache ? ServiceType::kCache : ServiceType::kCode;
+  rc.rtt_estimate = msec_f(rt->rtt_ms);
+  rc.use_markov = params_.use_markov;
+  // Track holes longer than the success criterion so late recoveries are
+  // observed and classified (the paper's rule -- "any packet that takes
+  // longer than one RTT to recover is a lost packet" -- is applied at
+  // accounting time below, not by aborting recovery).
+  rc.recovery_give_up =
+      std::max<SimDuration>(msec(600), 3 * msec_f(rt->rtt_ms));
+  // Wide-area testbed hosts are sometimes slow to answer cooperative
+  // requests (the straggler problem, Section 4.4).
+  rc.coop_slow_prob = params_.coop_slow_prob;
+  rc.rng_seed = params_.seed ^ 0x51ee7;
+  PathRuntime* rt_raw = rt.get();
+  rt->receiver = std::make_unique<endpoint::Receiver>(
+      net_, rc, [rt_raw](const endpoint::DeliveryRecord& rec, const PacketPtr&) {
+        if (rec.seq >= rt_raw->outcome.size()) rt_raw->outcome.resize(rec.seq + 1);
+        if (rec.late_direct) {
+          // The direct copy arrived after all: not a path loss.
+          if (rt_raw->outcome[rec.seq] == Outcome::kRecovered) {
+            rt_raw->outcome[rec.seq] = Outcome::kDirect;
+            --rt_raw->recovered;
+            ++rt_raw->delivered_direct;
+          }
+          return;
+        }
+        if (rec.lost) {
+          rt_raw->outcome[rec.seq] = Outcome::kLost;
+          ++rt_raw->lost;
+        } else if (rec.recovered) {
+          double ms = 0.0;
+          if (rec.detected_missing_at > 0) {
+            ms = to_ms(rec.delivered_at - rec.detected_missing_at);
+            rt_raw->recovery_ms.add(ms);
+            rt_raw->recovery_over_rtt.add(ms / rt_raw->rtt_ms);
+          }
+          // Paper's success criterion: recovery beyond one direct-path RTT
+          // counts as a loss.
+          if (ms <= rt_raw->give_up_rtts * rt_raw->rtt_ms) {
+            rt_raw->outcome[rec.seq] = Outcome::kRecovered;
+            ++rt_raw->recovered;
+          } else {
+            rt_raw->outcome[rec.seq] = Outcome::kLost;
+            ++rt_raw->lost;
+          }
+        } else {
+          rt_raw->outcome[rec.seq] = Outcome::kDirect;
+          ++rt_raw->delivered_direct;
+        }
+      });
+
+  // --- links ---
+  // Direct Internet path with the configured loss mix, scaled by a
+  // per-path severity factor (paths span orders of magnitude in loss rate).
+  Rng loss_rng = rng_.fork("direct-loss");
+  const double severity =
+      params_.direct.path_severity_sigma > 0.0
+          ? loss_rng.lognormal(0.0, params_.direct.path_severity_sigma)
+          : 1.0;
+  netsim::LossModelPtr loss = netsim::make_bernoulli_loss(
+      std::min(0.05, params_.direct.bernoulli_loss * severity), loss_rng.fork("bern"));
+  if (params_.direct.enable_bursts) {
+    // Compose: Gilbert-Elliott bursts on top of the random-loss floor.
+    struct Composite final : netsim::LossModel {
+      netsim::LossModelPtr a, b;
+      Composite(netsim::LossModelPtr x, netsim::LossModelPtr y)
+          : a(std::move(x)), b(std::move(y)) {}
+      bool should_drop(SimTime now) override {
+        const bool da = a->should_drop(now);
+        const bool db = b->should_drop(now);
+        return da || db;
+      }
+    };
+    netsim::GilbertElliottParams ge = params_.direct.gilbert;
+    ge.p_good_to_bad = std::min(0.02, ge.p_good_to_bad * severity);
+    loss = std::make_unique<Composite>(std::move(loss),
+                                       netsim::make_gilbert_elliott(ge, loss_rng.fork("ge")));
+  }
+  if (rng_.bernoulli(params_.direct.outage_path_fraction)) {
+    loss = netsim::make_outage_over(std::move(loss), params_.direct.outage,
+                                    loss_rng.fork("outage"));
+  }
+  netsim::JitterParams jp;
+  jp.base = msec_f(sample.y_ms);
+  jp.jitter_sigma = params_.direct.jitter_sigma;
+  jp.jitter_scale_ms = params_.direct.jitter_scale_ms;
+  jp.spike_prob = params_.direct.spike_prob;
+  net_.add_link(rt->sender->id(), rt->receiver->id(),
+                netsim::make_jitter_latency(jp, rng_.fork("direct-lat")), std::move(loss));
+
+  // Access links to the nearby DCs.
+  overlay_->attach_host(rt->sender->id(), *rt->dc1, msec_f(sample.delta_s_ms));
+  overlay_->attach_host(rt->receiver->id(), *rt->dc2, msec_f(sample.delta_r_ms));
+
+  // Forwarding-service routing: packets for this receiver entering DC1 ride
+  // the inter-DC path to DC2, which has the access link to the receiver.
+  for (std::size_t i = 0; i < overlay_->dc_count(); ++i) {
+    if (&overlay_->dc(i) == rt->dc1 && rt->dc1 != rt->dc2) {
+      forwarders_[i]->set_next_hop(rt->receiver->id(), rt->dc2->id());
+    }
+  }
+
+  // --- J-QoS registration ---
+  endpoint::RegisterRequest req;
+  req.force_service = params_.service;
+  req.dc1 = rt->dc1->id();
+  req.dc2 = rt->dc2->id();
+  req.delays.y_ms = sample.y_ms;
+  req.delays.delta_s_ms = sample.delta_s_ms;
+  req.delays.delta_r_ms = sample.delta_r_ms;
+  req.delays.x_ms = sample.x_ms;
+  req.delays.delta_r_median_ms = sample.delta_r_ms;
+  req.coding_rate = params_.coding.cross_rate();
+  endpoint::Session session =
+      sessions_.register_flow(*rt->sender, *rt->receiver, req);
+  rt->flow = session.flow;
+
+  // The workload app is instantiated in run(), where per-path skew is known.
+  paths_.push_back(std::move(rt));
+}
+
+void WanScenario::run(SimDuration duration) {
+  // One shared ON-interval schedule with small per-path skew: the
+  // deployment's control channel keeps senders loosely synchronized so the
+  // encoder always sees concurrent streams (Section 6.2.1).
+  Rng sched_rng = rng_.fork("schedule");
+  const auto schedule = transport::CbrApp::make_schedule(
+      sim_.now(), sim_.now() + duration, params_.cbr, sched_rng);
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    transport::CbrParams p = params_.cbr;
+    p.initial_skew = static_cast<SimDuration>(rng_.uniform_int(0, msec(500)));
+    // CbrApp holds its params by value; rebuild with the skew.
+    paths_[i]->app = std::make_unique<transport::CbrApp>(
+        sim_, *paths_[i]->sender, paths_[i]->flow, p, rng_.fork("cbr-run"));
+    paths_[i]->app->start_with_schedule(schedule, sim_.now() + duration);
+  }
+  sim_.run_until(sim_.now() + duration);
+  // Drain: flush encoder queues and let outstanding recoveries finish.
+  for (auto& enc : encoders_) enc->flush_all();
+  sim_.run_until(sim_.now() + sec(30));
+
+  // Ground-truth closing of the books: every sequence number the sender
+  // emitted that produced no delivery record is a loss (tail losses the
+  // receiver could never distinguish from a paused stream).
+  for (auto& rt : paths_) {
+    const SeqNo sent = rt->sender->next_seq(rt->flow);
+    if (rt->outcome.size() < sent) rt->outcome.resize(sent, Outcome::kPending);
+    for (SeqNo s = 0; s < sent; ++s) {
+      if (rt->outcome[s] == Outcome::kPending) {
+        rt->outcome[s] = Outcome::kLost;
+        ++rt->lost;
+      }
+    }
+  }
+}
+
+services::EncoderStats WanScenario::encoder_totals() const {
+  services::EncoderStats total;
+  for (const auto& e : encoders_) {
+    const auto& s = e->stats();
+    total.data_packets += s.data_packets;
+    total.in_batches += s.in_batches;
+    total.cross_batches += s.cross_batches;
+    total.coded_sent += s.coded_sent;
+    total.timer_flushes += s.timer_flushes;
+    total.single_packet_evictions += s.single_packet_evictions;
+    total.full_scan_flushes += s.full_scan_flushes;
+    total.unknown_flow += s.unknown_flow;
+  }
+  return total;
+}
+
+services::RecoveryStatsDc WanScenario::recovery_totals() const {
+  services::RecoveryStatsDc total;
+  for (const auto& r : recoverers_) {
+    const auto& s = r->stats();
+    total.nacks += s.nacks;
+    total.nack_keys += s.nack_keys;
+    total.in_stream_served += s.in_stream_served;
+    total.coop_ops += s.coop_ops;
+    total.coop_requests_sent += s.coop_requests_sent;
+    total.coop_responses += s.coop_responses;
+    total.coop_success += s.coop_success;
+    total.coop_deadline_failures += s.coop_deadline_failures;
+    total.recovered_sent += s.recovered_sent;
+    total.nack_checks_sent += s.nack_checks_sent;
+    total.nack_confirms += s.nack_confirms;
+    total.uncovered_keys += s.uncovered_keys;
+    total.straggler_responses += s.straggler_responses;
+    total.batches_stored += s.batches_stored;
+    total.batches_expired += s.batches_expired;
+  }
+  return total;
+}
+
+}  // namespace jqos::exp

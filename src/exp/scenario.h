@@ -1,0 +1,155 @@
+// Scenario builder: turns a set of geo::PathSample wide-area paths into a
+// running simulated J-QoS deployment -- senders, receivers, the cloud
+// overlay with all four services installed, per-path Internet links with
+// configurable loss processes, and per-path outcome collection.
+//
+// This is the machinery behind the Section 6.2 PlanetLab reproduction and
+// the case studies; benches and tests configure it differently (service
+// choice, loss mix, coding parameters) but share the wiring.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "endpoint/receiver.h"
+#include "endpoint/sender.h"
+#include "endpoint/session.h"
+#include "geo/path_dataset.h"
+#include "netsim/loss_model.h"
+#include "netsim/network.h"
+#include "overlay/overlay_network.h"
+#include "services/caching/caching_service.h"
+#include "services/coding/encoder_dc.h"
+#include "services/coding/recovery_dc.h"
+#include "services/forwarding/forwarding_service.h"
+#include "transport/cbr_app.h"
+
+namespace jqos::exp {
+
+// Per-packet delivery outcome codes recorded by sequence number.
+enum class Outcome : std::uint8_t {
+  kPending = 0,    // Sent (or never sent); no record yet.
+  kDirect = 1,     // Delivered on the direct Internet path.
+  kRecovered = 2,  // Lost on the direct path, recovered by J-QoS in time.
+  kLost = 3,       // Lost and never recovered within the give-up window.
+};
+
+// Direct-path loss process configuration for one scenario. Defaults are
+// calibrated to the Section 6.2.2 observations: loss rates up to ~0.9%,
+// 40% of paths above 0.1%, and 1-3 s outages on ~45% of paths.
+struct DirectPathParams {
+  // Random (single-packet) losses.
+  double bernoulli_loss = 0.0002;
+  // Multi-packet bursts.
+  bool enable_bursts = true;
+  netsim::GilbertElliottParams gilbert{.p_good_to_bad = 0.0001,
+                                       .p_bad_to_good = 0.25,
+                                       .loss_in_good = 0.0,
+                                       .loss_in_bad = 0.8};
+  // Per-path severity multiplier (lognormal sigma): paths differ by orders
+  // of magnitude in loss rate, as the measured PlanetLab paths do.
+  double path_severity_sigma = 1.3;
+  // Long outages (1-3 s) on a fraction of the paths.
+  double outage_path_fraction = 0.45;
+  netsim::OutageParams outage{.mean_interval = minutes(12), .min_len = sec(1),
+                              .max_len = sec(3)};
+  // Jitter of the direct path. Spikes are rare: a delayed packet that gets
+  // recovered anyway is reclassified as delivered when the direct copy
+  // lands, but spikes still cost NACK/recovery traffic.
+  double jitter_sigma = 0.5;
+  double jitter_scale_ms = 1.5;
+  double spike_prob = 0.003;
+};
+
+struct WanScenarioParams {
+  ServiceType service = ServiceType::kCode;
+  services::CodingParams coding;
+  services::RecoveryParams recovery;
+  DirectPathParams direct;
+  overlay::OverlayParams overlay;
+  transport::CbrParams cbr;
+  // Give-up window as a multiple of the path RTT (1.0 = the paper's "longer
+  // than one RTT to recover counts as lost").
+  double give_up_rtts = 1.0;
+  // Probability a receiver answers a cooperative request late (straggler).
+  double coop_slow_prob = 0.10;
+  bool use_markov = true;
+  std::uint64_t seed = 1;
+};
+
+// Everything belonging to one wide-area path in the running scenario.
+struct PathRuntime {
+  geo::PathSample path;
+  std::string label;  // Region pair, e.g. "US-EU".
+  double rtt_ms = 0.0;
+  double give_up_rtts = 1.0;  // Success criterion (copied from params).
+  FlowId flow = 0;
+  std::unique_ptr<endpoint::Sender> sender;
+  std::unique_ptr<endpoint::Receiver> receiver;
+  std::unique_ptr<transport::CbrApp> app;
+  overlay::DataCenter* dc1 = nullptr;
+  overlay::DataCenter* dc2 = nullptr;
+
+  // Collected results.
+  std::vector<Outcome> outcome;      // Indexed by sequence number.
+  Samples recovery_ms;               // Detection -> recovered delivery.
+  Samples recovery_over_rtt;         // Same, as a fraction of path RTT.
+  std::uint64_t delivered_direct = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t lost = 0;
+
+  std::uint64_t direct_losses() const { return recovered + lost; }
+  double recovery_success() const {
+    const std::uint64_t l = direct_losses();
+    return l == 0 ? 1.0 : static_cast<double>(recovered) / static_cast<double>(l);
+  }
+  double loss_rate() const {
+    const std::uint64_t total = delivered_direct + direct_losses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(direct_losses()) / static_cast<double>(total);
+  }
+};
+
+class WanScenario {
+ public:
+  WanScenario(std::vector<geo::PathSample> paths, const WanScenarioParams& params);
+  ~WanScenario();
+
+  WanScenario(const WanScenario&) = delete;
+  WanScenario& operator=(const WanScenario&) = delete;
+
+  // Runs the CBR workload on every path for `duration`, then drains
+  // in-flight recoveries.
+  void run(SimDuration duration);
+
+  std::size_t path_count() const { return paths_.size(); }
+  PathRuntime& path(std::size_t i) { return *paths_.at(i); }
+  const PathRuntime& path(std::size_t i) const { return *paths_.at(i); }
+
+  netsim::Simulator& sim() { return sim_; }
+  netsim::Network& net() { return net_; }
+  overlay::OverlayNetwork& overlay() { return *overlay_; }
+
+  // Aggregate encoder/recovery statistics summed across DCs.
+  services::EncoderStats encoder_totals() const;
+  services::RecoveryStatsDc recovery_totals() const;
+
+ private:
+  void build_overlay(const std::vector<geo::PathSample>& paths);
+  void build_path(geo::PathSample sample);
+
+  WanScenarioParams params_;
+  netsim::Simulator sim_;
+  netsim::Network net_;
+  Rng rng_;
+  services::FlowRegistryPtr registry_;
+  std::unique_ptr<overlay::OverlayNetwork> overlay_;
+  std::vector<std::shared_ptr<services::ForwardingService>> forwarders_;
+  std::vector<std::shared_ptr<services::CodingEncoderService>> encoders_;
+  std::vector<std::shared_ptr<services::RecoveryService>> recoverers_;
+  endpoint::SessionManager sessions_;
+  std::vector<std::unique_ptr<PathRuntime>> paths_;
+  FlowId next_flow_ = 1;
+};
+
+}  // namespace jqos::exp

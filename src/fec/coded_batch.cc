@@ -1,0 +1,139 @@
+#include "fec/coded_batch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jqos::fec {
+namespace {
+
+// Shard framing: 2-byte original length prefix.
+constexpr std::size_t kLenPrefix = 2;
+
+std::vector<std::uint8_t> frame_shard(std::span<const std::uint8_t> payload,
+                                      std::size_t shard_len) {
+  std::vector<std::uint8_t> shard(shard_len, 0);
+  shard[0] = static_cast<std::uint8_t>(payload.size() >> 8);
+  shard[1] = static_cast<std::uint8_t>(payload.size() & 0xff);
+  std::copy(payload.begin(), payload.end(), shard.begin() + kLenPrefix);
+  return shard;
+}
+
+std::vector<std::uint8_t> unframe_shard(std::span<const std::uint8_t> shard) {
+  if (shard.size() < kLenPrefix) return {};
+  const std::size_t len = (static_cast<std::size_t>(shard[0]) << 8) | shard[1];
+  if (len > shard.size() - kLenPrefix) return {};  // Corrupt frame.
+  return std::vector<std::uint8_t>(shard.begin() + kLenPrefix,
+                                   shard.begin() + static_cast<std::ptrdiff_t>(kLenPrefix + len));
+}
+
+}  // namespace
+
+std::size_t shard_length(std::size_t max_payload) { return max_payload + kLenPrefix; }
+
+std::vector<PacketPtr> encode_batch(std::span<const PacketPtr> data,
+                                    std::size_t num_coded, PacketType coded_type,
+                                    std::uint32_t batch_id, NodeId src, NodeId dst,
+                                    SimTime now) {
+  if (data.empty()) throw std::invalid_argument("encode_batch: empty batch");
+  if (data.size() + num_coded > 255) {
+    throw std::invalid_argument("encode_batch: batch too large for GF(256)");
+  }
+  std::size_t max_payload = 0;
+  for (const PacketPtr& p : data) max_payload = std::max(max_payload, p->payload.size());
+  const std::size_t len = shard_length(max_payload);
+
+  std::vector<std::vector<std::uint8_t>> shards;
+  shards.reserve(data.size());
+  CodedMeta meta;
+  meta.batch_id = batch_id;
+  meta.k = static_cast<std::uint8_t>(data.size());
+  meta.r = static_cast<std::uint8_t>(num_coded);
+  for (const PacketPtr& p : data) {
+    shards.push_back(frame_shard(p->payload, len));
+    meta.covered.push_back(p->key());
+  }
+
+  std::vector<std::span<const std::uint8_t>> shard_spans;
+  shard_spans.reserve(shards.size());
+  for (const auto& s : shards) shard_spans.emplace_back(s);
+
+  const ReedSolomon rs(data.size(), num_coded);
+  auto parity = rs.encode(shard_spans);
+
+  std::vector<PacketPtr> out;
+  out.reserve(num_coded);
+  for (std::size_t i = 0; i < parity.size(); ++i) {
+    auto pkt = std::make_shared<Packet>();
+    pkt->type = coded_type;
+    // Coded packets belong to no single flow; flow/seq identify the batch
+    // and codeword index instead so logs stay greppable.
+    pkt->flow = 0;
+    pkt->seq = batch_id;
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->sent_at = now;
+    CodedMeta m = meta;
+    m.index = static_cast<std::uint8_t>(data.size() + i);
+    pkt->meta = std::move(m);
+    pkt->payload = std::move(parity[i]);
+    out.push_back(std::move(pkt));
+  }
+  return out;
+}
+
+std::optional<std::vector<RecoveredPacket>> decode_batch(
+    const CodedMeta& meta,
+    std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> present_data,
+    std::span<const PacketPtr> coded) {
+  const std::size_t k = meta.k;
+  if (k == 0 || meta.covered.size() != k) return std::nullopt;
+  if (present_data.size() + coded.size() < k) return std::nullopt;
+
+  // Shard length is dictated by the coded payloads (parity shards are
+  // exactly shard-length long).
+  std::size_t len = 0;
+  for (const PacketPtr& c : coded) len = std::max(len, c->payload.size());
+  if (len == 0) return std::nullopt;
+
+  // Re-frame the present data packets to shards and collect decode inputs.
+  std::vector<std::vector<std::uint8_t>> framed;
+  framed.reserve(present_data.size());
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> inputs;
+  inputs.reserve(k);
+  std::vector<bool> have(k, false);
+  for (const auto& [pos, payload] : present_data) {
+    if (pos >= k || have[pos]) continue;
+    if (payload.size() + 2 > len) return std::nullopt;  // Inconsistent batch.
+    framed.push_back(frame_shard(payload, len));
+    inputs.emplace_back(pos, std::span<const std::uint8_t>(framed.back()));
+    have[pos] = true;
+  }
+  std::vector<bool> have_coded(static_cast<std::size_t>(k) + meta.r, false);
+  for (const PacketPtr& c : coded) {
+    if (inputs.size() >= k) break;
+    if (!c->meta || c->meta->batch_id != meta.batch_id) continue;
+    if (c->meta->index < k || c->meta->index >= k + meta.r) continue;
+    if (c->payload.size() != len) continue;
+    if (have_coded[c->meta->index]) continue;  // Duplicate delivery.
+    have_coded[c->meta->index] = true;
+    inputs.emplace_back(c->meta->index, std::span<const std::uint8_t>(c->payload));
+  }
+  if (inputs.size() < k) return std::nullopt;
+
+  const ReedSolomon rs(k, meta.r);
+  auto decoded = rs.decode(inputs);
+  if (!decoded) return std::nullopt;
+
+  std::vector<RecoveredPacket> out;
+  for (std::size_t pos = 0; pos < k; ++pos) {
+    if (have[pos]) continue;  // Caller already has it.
+    RecoveredPacket rp;
+    rp.position = pos;
+    rp.key = meta.covered[pos];
+    rp.payload = unframe_shard((*decoded)[pos]);
+    out.push_back(std::move(rp));
+  }
+  return out;
+}
+
+}  // namespace jqos::fec

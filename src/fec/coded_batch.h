@@ -1,0 +1,60 @@
+// Packet-level batch coding on top of ReedSolomon.
+//
+// CR-WAN batches are sets of *packets* of different sizes (different flows,
+// different applications), while Reed-Solomon wants equal-length shards.
+// This module owns the shard framing: each data packet becomes the shard
+//
+//     [u16 original_length | payload bytes | zero padding]
+//
+// padded to the longest member of the batch, so a recovered shard yields the
+// exact original payload. It also builds the CodedMeta carried in coded
+// packets (batch id, codeword index, covered (flow, seq) keys) that DC2 and
+// the cooperative-recovery protocol consume.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/packet.h"
+#include "fec/reed_solomon.h"
+
+namespace jqos::fec {
+
+// Encodes a batch of k data packets into `num_coded` coded packets of the
+// given type (kInCoded for in-stream batches, kCrossCoded for cross-stream
+// batches). `src`/`dst` address the coded packets (DC1 -> DC2).
+//
+// Preconditions: 1 <= k <= 255 - num_coded, all packets non-null.
+std::vector<PacketPtr> encode_batch(std::span<const PacketPtr> data,
+                                    std::size_t num_coded, PacketType coded_type,
+                                    std::uint32_t batch_id, NodeId src, NodeId dst,
+                                    SimTime now);
+
+// Reconstructs the payloads of missing batch members.
+//
+// `meta` comes from any coded packet of the batch; `present_data` maps
+// codeword positions (0..k-1) to the original payloads that are available
+// (from peer receivers during cooperative recovery, or from DC2's own cache
+// for in-stream recovery); `coded` holds the coded packets available for
+// this batch. Recovery succeeds iff present_data.size() + coded.size() >= k.
+//
+// On success returns one entry per missing position: (codeword position,
+// recovered payload). Returns nullopt when not enough symbols survive --
+// the "fails silently" case of Section 4.4.
+struct RecoveredPacket {
+  std::size_t position = 0;  // Codeword position in meta.covered.
+  PacketKey key;
+  std::vector<std::uint8_t> payload;
+};
+
+std::optional<std::vector<RecoveredPacket>> decode_batch(
+    const CodedMeta& meta,
+    std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> present_data,
+    std::span<const PacketPtr> coded);
+
+// The shard length used for a batch whose largest payload is `max_payload`.
+std::size_t shard_length(std::size_t max_payload);
+
+}  // namespace jqos::fec

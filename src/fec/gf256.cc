@@ -1,0 +1,100 @@
+#include "fec/gf256.h"
+
+#include <array>
+
+namespace jqos::fec {
+namespace {
+
+// 0x11d = x^8 + x^4 + x^3 + x^2 + 1, generator alpha = 2.
+constexpr unsigned kPoly = 0x11d;
+
+struct Tables {
+  // exp_ is doubled so gf_mul can skip the mod-255 reduction.
+  std::array<Gf, 510> exp_{};
+  std::array<int, 256> log_{};
+  // 256x256 full multiplication table: one L1-resident 64KB lookup per
+  // product; measurably faster than log/exp in the addmul kernel.
+  std::array<std::array<Gf, 256>, 256> mul_{};
+
+  Tables() {
+    unsigned x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_[static_cast<std::size_t>(i)] = static_cast<Gf>(x);
+      log_[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (int i = 255; i < 510; ++i) exp_[static_cast<std::size_t>(i)] = exp_[static_cast<std::size_t>(i - 255)];
+    log_[0] = -1;  // log(0) is undefined; sentinel for debug checks.
+    for (int a = 0; a < 256; ++a) {
+      for (int b = 0; b < 256; ++b) {
+        if (a == 0 || b == 0) {
+          mul_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 0;
+        } else {
+          mul_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+              exp_[static_cast<std::size_t>(log_[a] + log_[b])];
+        }
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Gf gf_mul(Gf a, Gf b) { return tables().mul_[a][b]; }
+
+Gf gf_div(Gf a, Gf b) {
+  // b must be non-zero; division by zero is a caller bug surfaced in debug
+  // builds by the log sentinel.
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  int d = t.log_[a] - t.log_[b];
+  if (d < 0) d += 255;
+  return t.exp_[static_cast<std::size_t>(d)];
+}
+
+Gf gf_inv(Gf a) {
+  const Tables& t = tables();
+  return t.exp_[static_cast<std::size_t>(255 - t.log_[a])];
+}
+
+Gf gf_pow(Gf a, unsigned e) {
+  if (a == 0) return e == 0 ? 1 : 0;
+  const Tables& t = tables();
+  const unsigned l = (static_cast<unsigned>(t.log_[a]) * e) % 255u;
+  return t.exp_[l];
+}
+
+void gf_addmul(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
+  if (c == 0) return;
+  const auto& row = tables().mul_[c];
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void gf_mul_buf(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  const auto& row = tables().mul_[c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+Gf gf_exp_table(unsigned i) { return tables().exp_.at(i); }
+
+int gf_log_table(Gf a) { return tables().log_.at(a); }
+
+}  // namespace jqos::fec

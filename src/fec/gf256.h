@@ -1,0 +1,43 @@
+// Arithmetic over GF(2^8) with the AES polynomial x^8+x^4+x^3+x^2+1 (0x11d
+// representation as used by Reed-Solomon implementations such as zfec, the
+// library the paper's prototype used).
+//
+// Multiplication is table-driven via log/exp tables built once at static
+// initialization; the buffer kernels (addmul / mul_buf) are what the encoder
+// hot path uses, processing whole packets at a time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace jqos::fec {
+
+// Field element.
+using Gf = std::uint8_t;
+
+// Addition and subtraction in GF(2^8) are both XOR.
+constexpr Gf gf_add(Gf a, Gf b) { return a ^ b; }
+constexpr Gf gf_sub(Gf a, Gf b) { return a ^ b; }
+
+// Multiplication, division (b != 0), inverse (a != 0) and exponentiation via
+// the log/exp tables.
+Gf gf_mul(Gf a, Gf b);
+Gf gf_div(Gf a, Gf b);
+Gf gf_inv(Gf a);
+Gf gf_pow(Gf a, unsigned e);
+
+// dst[i] ^= c * src[i] for i in [0, n). The core encode/decode kernel: one
+// call accumulates one data packet, scaled by a matrix coefficient, into a
+// coded packet.
+void gf_addmul(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+
+// dst[i] = c * src[i].
+void gf_mul_buf(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+
+// Direct table access for tests that validate table construction against
+// schoolbook carry-less multiplication.
+Gf gf_exp_table(unsigned i);   // alpha^i, i in [0, 509]
+int gf_log_table(Gf a);        // log_alpha(a), a != 0
+
+}  // namespace jqos::fec

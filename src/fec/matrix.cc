@@ -1,0 +1,93 @@
+#include "fec/matrix.h"
+
+#include <stdexcept>
+
+namespace jqos::fec {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(std::size_t rows, std::size_t cols) {
+  if (rows > 255) throw std::invalid_argument("vandermonde: at most 255 rows in GF(256)");
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    // alpha_r = alpha^r gives 255 distinct non-degenerate evaluation points.
+    const Gf alpha_r = gf_exp_table(static_cast<unsigned>(r % 255));
+    Gf v = 1;
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = (r == 0) ? (c == 0 ? 1 : 0) : v;
+      v = gf_mul(v, alpha_r);
+    }
+  }
+  // Row 0 corresponds to evaluation point alpha^0 = 1, whose powers are all
+  // 1; the loop above instead gives row 0 the canonical unit row so the
+  // matrix stays a classic Vandermonde built over points {1, alpha, ...}.
+  // Rebuild row 0 properly: point 1 -> all-ones row.
+  for (std::size_t c = 0; c < cols; ++c) m.at(0, c) = 1;
+  return m;
+}
+
+Matrix Matrix::mul(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("matrix mul: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Gf a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) = gf_add(out.at(i, j), gf_mul(a, rhs.at(k, j)));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= rows_) throw std::out_of_range("select_rows: row index");
+    for (std::size_t j = 0; j < cols_; ++j) out.at(i, j) = at(rows[i], j);
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  if (rows_ != cols_) throw std::invalid_argument("inverted: square matrices only");
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot (any non-zero entry works in a field).
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.at(pivot, j), a.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Scale pivot row to 1.
+    const Gf scale = gf_inv(a.at(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(col, j) = gf_mul(a.at(col, j), scale);
+      inv.at(col, j) = gf_mul(inv.at(col, j), scale);
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == col) continue;
+      const Gf f = a.at(i, col);
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(i, j) = gf_add(a.at(i, j), gf_mul(f, a.at(col, j)));
+        inv.at(i, j) = gf_add(inv.at(i, j), gf_mul(f, inv.at(col, j)));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace jqos::fec

@@ -1,0 +1,48 @@
+// Dense matrices over GF(2^8) with Gaussian-elimination inversion; the
+// machinery behind systematic Reed-Solomon construction and decoding.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fec/gf256.h"
+
+namespace jqos::fec {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static Matrix identity(std::size_t n);
+
+  // Vandermonde matrix V[i][j] = alpha_i^j where alpha_i are distinct field
+  // elements; any square submatrix formed from distinct rows is invertible,
+  // which is the property Reed-Solomon erasure decoding relies on.
+  static Matrix vandermonde(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Gf at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  Gf& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const Gf* row(std::size_t r) const { return &data_[r * cols_]; }
+
+  Matrix mul(const Matrix& rhs) const;
+
+  // Returns this matrix with rows permuted: out.row(i) = row(rows[i]).
+  Matrix select_rows(const std::vector<std::size_t>& rows) const;
+
+  // Gauss-Jordan inversion; nullopt if singular. Square matrices only.
+  std::optional<Matrix> inverted() const;
+
+  bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Gf> data_;
+};
+
+}  // namespace jqos::fec

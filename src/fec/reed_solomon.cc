@@ -1,0 +1,95 @@
+#include "fec/reed_solomon.h"
+
+#include <stdexcept>
+
+namespace jqos::fec {
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t r) : k_(k), r_(r) {
+  if (k == 0) throw std::invalid_argument("ReedSolomon: k must be >= 1");
+  if (k + r > 255) throw std::invalid_argument("ReedSolomon: k + r must be <= 255");
+  Matrix v = Matrix::vandermonde(k + r, k);
+  std::vector<std::size_t> top(k);
+  for (std::size_t i = 0; i < k; ++i) top[i] = i;
+  auto top_inv = v.select_rows(top).inverted();
+  if (!top_inv) throw std::logic_error("ReedSolomon: Vandermonde top block singular");
+  enc_ = v.mul(*top_inv);
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    std::span<const std::span<const std::uint8_t>> data) const {
+  if (data.size() != k_) throw std::invalid_argument("encode: need exactly k shards");
+  const std::size_t len = data.empty() ? 0 : data[0].size();
+  for (const auto& shard : data) {
+    if (shard.size() != len) throw std::invalid_argument("encode: unequal shard lengths");
+  }
+  std::vector<std::vector<std::uint8_t>> parity(r_, std::vector<std::uint8_t>(len, 0));
+  if (len == 0) return parity;
+  std::vector<const std::uint8_t*> data_ptrs(k_);
+  std::vector<std::uint8_t*> parity_ptrs(r_);
+  for (std::size_t i = 0; i < k_; ++i) data_ptrs[i] = data[i].data();
+  for (std::size_t i = 0; i < r_; ++i) parity_ptrs[i] = parity[i].data();
+  encode_into(data_ptrs.data(), len, parity_ptrs.data());
+  return parity;
+}
+
+void ReedSolomon::encode_into(const std::uint8_t* const* data, std::size_t shard_len,
+                              std::uint8_t* const* parity) const {
+  for (std::size_t p = 0; p < r_; ++p) {
+    std::uint8_t* out = parity[p];
+    const Gf* row = enc_.row(k_ + p);
+    // First term initializes, remaining terms accumulate.
+    gf_mul_buf(out, data[0], row[0], shard_len);
+    for (std::size_t j = 1; j < k_; ++j) {
+      gf_addmul(out, data[j], row[j], shard_len);
+    }
+  }
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
+    std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> shards) const {
+  if (shards.size() < k_) return std::nullopt;
+  const std::size_t len = shards.empty() ? 0 : shards[0].second.size();
+  std::vector<std::size_t> rows;
+  rows.reserve(k_);
+  std::vector<std::span<const std::uint8_t>> bufs;
+  bufs.reserve(k_);
+  std::vector<bool> seen(n(), false);
+  for (const auto& [idx, buf] : shards) {
+    if (rows.size() == k_) break;
+    if (idx >= n()) throw std::out_of_range("decode: shard index out of range");
+    if (seen[idx]) throw std::invalid_argument("decode: duplicate shard index");
+    if (buf.size() != len) throw std::invalid_argument("decode: unequal shard lengths");
+    seen[idx] = true;
+    rows.push_back(idx);
+    bufs.push_back(buf);
+  }
+  auto sub_inv = enc_.select_rows(rows).inverted();
+  if (!sub_inv) return std::nullopt;  // Cannot happen for distinct Vandermonde rows.
+
+  std::vector<std::vector<std::uint8_t>> out(k_, std::vector<std::uint8_t>(len, 0));
+  for (std::size_t i = 0; i < k_; ++i) {
+    // Fast path: if a data shard was received intact, copy it through
+    // instead of recomputing it from the inverse.
+    bool direct = false;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (rows[j] == i) {
+        out[i].assign(bufs[j].begin(), bufs[j].end());
+        direct = true;
+        break;
+      }
+    }
+    if (direct || len == 0) continue;
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf_addmul(out[i].data(), bufs[j].data(), sub_inv->at(i, j), len);
+    }
+  }
+  return out;
+}
+
+std::vector<Gf> ReedSolomon::encode_row(std::size_t i) const {
+  std::vector<Gf> row(k_);
+  for (std::size_t j = 0; j < k_; ++j) row[j] = enc_.at(i, j);
+  return row;
+}
+
+}  // namespace jqos::fec

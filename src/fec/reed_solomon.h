@@ -1,0 +1,58 @@
+// Systematic Reed-Solomon erasure code over GF(2^8), zfec-compatible in
+// spirit: k data shards are left untouched and r parity shards are appended;
+// any k of the k+r shards reconstruct the data.
+//
+// Construction: start from a (k+r) x k Vandermonde matrix over distinct
+// evaluation points, then right-multiply by the inverse of its top k x k
+// block. The top block becomes the identity (systematic), and every square
+// submatrix built from distinct rows remains invertible, which is exactly
+// the any-k-of-n property.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fec/matrix.h"
+
+namespace jqos::fec {
+
+class ReedSolomon {
+ public:
+  // k data shards, r parity shards; k >= 1, r >= 0, k + r <= 255.
+  ReedSolomon(std::size_t k, std::size_t r);
+
+  std::size_t k() const { return k_; }
+  std::size_t r() const { return r_; }
+  std::size_t n() const { return k_ + r_; }
+
+  // Computes the r parity shards for k equal-length data shards.
+  // `data` must contain exactly k spans of identical length.
+  std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const std::span<const std::uint8_t>> data) const;
+
+  // Zero-allocation variant for the encoding hot path (Figure 10 benchmark):
+  // parity[i] must point at shard_len writable bytes.
+  void encode_into(const std::uint8_t* const* data, std::size_t shard_len,
+                   std::uint8_t* const* parity) const;
+
+  // Reconstructs all k data shards from any >= k shards. Each entry pairs a
+  // row index (0..k-1 for data shards, k..n-1 for parity) with the shard
+  // bytes; all shards must have equal length and indices must be distinct.
+  // Returns nullopt if fewer than k shards are supplied.
+  std::optional<std::vector<std::vector<std::uint8_t>>> decode(
+      std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> shards) const;
+
+  // Row `i` of the full (systematic) encoding matrix; exposed for tests.
+  std::vector<Gf> encode_row(std::size_t i) const;
+
+ private:
+  std::size_t k_;
+  std::size_t r_;
+  Matrix enc_;  // (k + r) x k systematic encoding matrix.
+};
+
+}  // namespace jqos::fec

@@ -1,0 +1,27 @@
+#include "geo/coords.h"
+
+#include <cmath>
+
+namespace jqos::geo {
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+// Light in fiber: ~2/3 c ~= 200 km/ms.
+constexpr double kKmPerMs = 200.0;
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double propagation_ms(double distance_km, double inflation) {
+  return distance_km * inflation / kKmPerMs;
+}
+
+}  // namespace jqos::geo

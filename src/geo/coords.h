@@ -1,0 +1,34 @@
+// Geographic coordinates and distance -> delay conversion.
+//
+// The paper measures one-way delays with ping (RTT/2) on real paths; we
+// synthesize the same quantities from geography: great-circle distance,
+// light-in-fiber propagation (~200 km/ms one way), and a path-inflation
+// factor that differs between the public Internet (circuitous routes,
+// typical inflation 1.6-2.2x) and cloud backbones (engineered routes,
+// ~1.2-1.4x). These constants reproduce the published relationships, e.g.
+// US-East <-> EU direct RTTs of 110-130 ms.
+#pragma once
+
+namespace jqos::geo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+// Great-circle distance in kilometers.
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+// One-way propagation delay in milliseconds for a route of the given
+// great-circle distance and inflation factor. Light in fiber covers about
+// 200 km per millisecond.
+double propagation_ms(double distance_km, double inflation);
+
+// Default inflation factors.
+inline constexpr double kInternetInflation = 1.9;
+inline constexpr double kCloudInflation = 1.3;
+// Host <-> nearby-DC routes are short and often well-peered (the paper notes
+// cloud operators peer directly with customer ISPs).
+inline constexpr double kAccessInflation = 1.6;
+
+}  // namespace jqos::geo

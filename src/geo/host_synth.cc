@@ -1,0 +1,110 @@
+#include "geo/host_synth.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace jqos::geo {
+
+const std::vector<GeoPoint>& metro_anchors(WorldRegion region) {
+  static const std::vector<GeoPoint> us_east = {
+      {42.36, -71.06},  // Boston
+      {40.71, -74.01},  // New York
+      {39.95, -75.17},  // Philadelphia
+      {38.91, -77.04},  // Washington DC
+      {40.44, -79.98},  // Pittsburgh
+      {35.78, -78.64},  // Raleigh
+      {33.75, -84.39},  // Atlanta
+      {43.66, -79.38},  // Toronto (east-coast PlanetLab footprint)
+  };
+  static const std::vector<GeoPoint> us_west = {
+      {37.77, -122.42},  // San Francisco
+      {34.05, -118.24},  // Los Angeles
+      {47.61, -122.33},  // Seattle
+      {45.52, -122.68},  // Portland
+      {32.72, -117.16},  // San Diego
+  };
+  static const std::vector<GeoPoint> europe = {
+      {51.51, -0.13},   // London
+      {48.86, 2.35},    // Paris
+      {52.52, 13.41},   // Berlin
+      {52.37, 4.90},    // Amsterdam
+      {50.85, 4.35},    // Brussels
+      {48.14, 11.58},   // Munich
+      {47.37, 8.54},    // Zurich
+      {48.21, 16.37},   // Vienna
+      {50.08, 14.44},   // Prague
+      {52.23, 21.01},   // Warsaw
+      {40.42, -3.70},   // Madrid
+      {41.90, 12.50},   // Rome
+      {38.72, -9.14},   // Lisbon
+      {37.98, 23.73},   // Athens
+      {47.50, 19.04},   // Budapest
+      {53.35, -6.26},   // Dublin
+  };
+  static const std::vector<GeoPoint> north_europe = {
+      {59.33, 18.07},  // Stockholm
+      {59.91, 10.75},  // Oslo
+      {60.17, 24.94},  // Helsinki
+      {55.68, 12.57},  // Copenhagen
+      {57.71, 11.97},  // Gothenburg
+      {56.95, 24.11},  // Riga
+      {59.44, 24.75},  // Tallinn
+  };
+  static const std::vector<GeoPoint> asia = {
+      {35.68, 139.69},  // Tokyo
+      {37.57, 126.98},  // Seoul
+      {1.35, 103.82},   // Singapore
+      {22.32, 114.17},  // Hong Kong
+      {25.03, 121.57},  // Taipei
+      {13.76, 100.50},  // Bangkok
+  };
+  static const std::vector<GeoPoint> oceania = {
+      {-33.87, 151.21},  // Sydney
+      {-37.81, 144.96},  // Melbourne
+      {-27.47, 153.03},  // Brisbane
+      {-36.85, 174.76},  // Auckland
+  };
+  static const std::vector<GeoPoint> south_america = {
+      {-23.55, -46.63},  // Sao Paulo
+      {-22.91, -43.17},  // Rio de Janeiro
+      {-34.60, -58.38},  // Buenos Aires
+      {-33.45, -70.67},  // Santiago
+  };
+  switch (region) {
+    case WorldRegion::kUsEast: return us_east;
+    case WorldRegion::kUsWest: return us_west;
+    case WorldRegion::kEurope: return europe;
+    case WorldRegion::kNorthEurope: return north_europe;
+    case WorldRegion::kAsia: return asia;
+    case WorldRegion::kOceania: return oceania;
+    case WorldRegion::kSouthAmerica: return south_america;
+  }
+  return europe;
+}
+
+std::vector<Host> synthesize_hosts(WorldRegion region, std::size_t count, Rng& rng) {
+  const auto& anchors = metro_anchors(region);
+  std::vector<Host> hosts;
+  hosts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const GeoPoint& anchor =
+        anchors[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(anchors.size()) - 1))];
+    Host h;
+    // Scatter ~0.7 degrees (roughly 40-80 km) around the metro, covering
+    // suburbs and nearby towns the probes actually sit in.
+    h.location.lat_deg = anchor.lat_deg + rng.normal(0.0, 0.7);
+    h.location.lon_deg = anchor.lon_deg + rng.normal(0.0, 0.7);
+    h.region = region;
+    // Last-mile: median ~3 ms, occasionally 15+ ms (DSL, congested cable).
+    // Calibrated so receiver<->DC RTTs land in the paper's 16-70 ms band
+    // (Section 6.2.2: mu = 28 ms) with 55% of one-way deltas under 10 ms.
+    h.last_mile_ms = rng.lognormal(std::log(3.0), 0.9);
+    std::ostringstream name;
+    name << to_string(region) << "-host-" << i;
+    h.name = name.str();
+    hosts.push_back(std::move(h));
+  }
+  return hosts;
+}
+
+}  // namespace jqos::geo

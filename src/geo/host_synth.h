@@ -1,0 +1,30 @@
+// Synthetic end hosts standing in for RIPE Atlas probes and PlanetLab nodes.
+//
+// Hosts are drawn around real metro areas of each world region with a
+// kilometer-scale scatter, plus a per-host last-mile latency component
+// (lognormal, a few ms) that models the access network between the host and
+// its first well-connected PoP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/regions.h"
+
+namespace jqos::geo {
+
+struct Host {
+  std::string name;
+  GeoPoint location;
+  WorldRegion region;
+  double last_mile_ms = 0.0;  // One-way access latency contribution.
+};
+
+// Metro anchors available for a region (real city coordinates).
+const std::vector<GeoPoint>& metro_anchors(WorldRegion region);
+
+// Draws `count` hosts for `region`. Deterministic given rng state.
+std::vector<Host> synthesize_hosts(WorldRegion region, std::size_t count, Rng& rng);
+
+}  // namespace jqos::geo

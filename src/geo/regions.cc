@@ -1,0 +1,69 @@
+#include "geo/regions.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace jqos::geo {
+
+const char* to_string(WorldRegion r) {
+  switch (r) {
+    case WorldRegion::kUsEast: return "US-East";
+    case WorldRegion::kUsWest: return "US-West";
+    case WorldRegion::kEurope: return "EU";
+    case WorldRegion::kNorthEurope: return "N-EU";
+    case WorldRegion::kAsia: return "Asia";
+    case WorldRegion::kOceania: return "OC";
+    case WorldRegion::kSouthAmerica: return "SA";
+  }
+  return "?";
+}
+
+const std::vector<CloudSite>& cloud_sites() {
+  // Coordinates are the metro areas of well-known provider regions; opening
+  // years follow the public history of the major clouds (the Fig. 7(d)
+  // sequence Ireland 2007 -> Frankfurt 2014 -> Stockholm 2018 is exact).
+  static const std::vector<CloudSite> sites = {
+      {"us-east-virginia", {38.95, -77.45}, 2006, WorldRegion::kUsEast},
+      {"us-east-ohio", {40.00, -83.00}, 2016, WorldRegion::kUsEast},
+      {"us-west-california", {37.35, -121.95}, 2009, WorldRegion::kUsWest},
+      {"us-west-oregon", {45.60, -121.20}, 2011, WorldRegion::kUsWest},
+      {"eu-west-ireland", {53.35, -6.26}, 2007, WorldRegion::kEurope},
+      {"eu-west-london", {51.51, -0.13}, 2016, WorldRegion::kEurope},
+      {"eu-west-paris", {48.86, 2.35}, 2017, WorldRegion::kEurope},
+      {"eu-central-frankfurt", {50.11, 8.68}, 2014, WorldRegion::kEurope},
+      {"eu-south-milan", {45.46, 9.19}, 2020, WorldRegion::kEurope},
+      {"eu-north-stockholm", {59.33, 18.07}, 2018, WorldRegion::kNorthEurope},
+      {"ap-northeast-tokyo", {35.68, 139.69}, 2011, WorldRegion::kAsia},
+      {"ap-northeast-seoul", {37.57, 126.98}, 2016, WorldRegion::kAsia},
+      {"ap-southeast-singapore", {1.35, 103.82}, 2010, WorldRegion::kAsia},
+      {"ap-east-hongkong", {22.32, 114.17}, 2019, WorldRegion::kAsia},
+      {"ap-south-mumbai", {19.08, 72.88}, 2016, WorldRegion::kAsia},
+      {"ap-southeast-sydney", {-33.87, 151.21}, 2012, WorldRegion::kOceania},
+      {"sa-east-saopaulo", {-23.55, -46.63}, 2011, WorldRegion::kSouthAmerica},
+  };
+  return sites;
+}
+
+std::vector<CloudSite> cloud_sites_as_of(int year) {
+  std::vector<CloudSite> out;
+  for (const CloudSite& s : cloud_sites()) {
+    if (s.opened_year <= year) out.push_back(s);
+  }
+  return out;
+}
+
+const CloudSite& nearest_site(const std::vector<CloudSite>& sites, const GeoPoint& p) {
+  if (sites.empty()) throw std::invalid_argument("nearest_site: empty site list");
+  const CloudSite* best = nullptr;
+  double best_km = std::numeric_limits<double>::max();
+  for (const CloudSite& s : sites) {
+    const double km = haversine_km(s.location, p);
+    if (km < best_km) {
+      best_km = km;
+      best = &s;
+    }
+  }
+  return *best;
+}
+
+}  // namespace jqos::geo

@@ -1,0 +1,39 @@
+// Catalog of cloud regions (data-center sites) and coarse world regions.
+//
+// Sites carry real coordinates and the year the region opened, which drives
+// the Figure 7(d) reproduction: northern-EU hosts' nearest DC was Ireland
+// (2007), then Frankfurt (2014), then Stockholm (2018).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/coords.h"
+
+namespace jqos::geo {
+
+// Coarse world regions used to group hosts and DCs (the paper's PlanetLab
+// deployment spans US, EU, Asia and Oceania).
+enum class WorldRegion { kUsEast, kUsWest, kEurope, kNorthEurope, kAsia, kOceania, kSouthAmerica };
+
+const char* to_string(WorldRegion r);
+
+struct CloudSite {
+  std::string name;      // e.g. "eu-north-stockholm"
+  GeoPoint location;
+  int opened_year = 0;   // First year the region served traffic.
+  WorldRegion region = WorldRegion::kEurope;
+};
+
+// All cloud sites in the catalog (a representative union of the large
+// providers' regions as of the paper's study period).
+const std::vector<CloudSite>& cloud_sites();
+
+// Sites that existed in `year` (opened_year <= year). Fig. 7(d) evaluates
+// 2007 / 2014 / 2018 snapshots.
+std::vector<CloudSite> cloud_sites_as_of(int year);
+
+// The geographically nearest site to `p` among `sites`; requires non-empty.
+const CloudSite& nearest_site(const std::vector<CloudSite>& sites, const GeoPoint& p);
+
+}  // namespace jqos::geo

@@ -1,0 +1,87 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace jqos::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, IoCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw std::runtime_error("epoll_ctl ADD failed");
+  }
+  io_callbacks_[fd] = std::move(cb);
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  io_callbacks_.erase(fd);
+}
+
+TimerId EventLoop::add_timer(std::chrono::milliseconds delay, TimerCallback cb) {
+  const TimerId id = next_timer_++;
+  timers_.push(TimerEntry{Clock::now() + delay, id});
+  timer_callbacks_[id] = std::move(cb);
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) { timer_callbacks_.erase(id); }
+
+void EventLoop::fire_due_timers() {
+  const auto now = Clock::now();
+  while (!timers_.empty() && timers_.top().due <= now) {
+    const TimerEntry entry = timers_.top();
+    timers_.pop();
+    auto it = timer_callbacks_.find(entry.id);
+    if (it == timer_callbacks_.end()) continue;  // Cancelled.
+    TimerCallback cb = std::move(it->second);
+    timer_callbacks_.erase(it);
+    cb();
+  }
+}
+
+bool EventLoop::run_once(std::chrono::milliseconds max_wait) {
+  if (io_callbacks_.empty() && timer_callbacks_.empty()) return false;
+
+  int wait_ms = static_cast<int>(max_wait.count());
+  // Trim the wait to the next live timer deadline.
+  while (!timers_.empty() && timer_callbacks_.count(timers_.top().id) == 0) timers_.pop();
+  if (!timers_.empty()) {
+    const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+        timers_.top().due - Clock::now());
+    wait_ms = std::clamp<int>(static_cast<int>(until.count()), 0, wait_ms);
+  }
+
+  std::array<epoll_event, 64> events{};
+  const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                             wait_ms);
+  for (int i = 0; i < n; ++i) {
+    auto it = io_callbacks_.find(events[static_cast<std::size_t>(i)].data.fd);
+    if (it != io_callbacks_.end()) it->second(events[static_cast<std::size_t>(i)].events);
+  }
+  fire_due_timers();
+  return true;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_ && run_once(std::chrono::milliseconds(100))) {
+  }
+}
+
+}  // namespace jqos::net

@@ -1,0 +1,64 @@
+// A small epoll-based event loop with a timer heap: the live (non-simulated)
+// runtime's scheduler. One loop per thread; not thread-safe by design (the
+// paper's prototype runs one event loop per process, in user space).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+namespace jqos::net {
+
+using Clock = std::chrono::steady_clock;
+using TimerId = std::uint64_t;
+
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(std::uint32_t epoll_events)>;
+  using TimerCallback = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Watches `fd` for the given epoll event mask (EPOLLIN etc.).
+  void add_fd(int fd, std::uint32_t events, IoCallback cb);
+  void remove_fd(int fd);
+
+  TimerId add_timer(std::chrono::milliseconds delay, TimerCallback cb);
+  void cancel_timer(TimerId id);
+
+  // Runs until stop() is called and no work remains.
+  void run();
+  void stop() { stopped_ = true; }
+
+  // Processes at most one epoll wake-up + due timers; returns false when
+  // there is nothing left to wait for.
+  bool run_once(std::chrono::milliseconds max_wait);
+
+ private:
+  struct TimerEntry {
+    Clock::time_point due;
+    TimerId id;
+    bool operator>(const TimerEntry& rhs) const {
+      if (due != rhs.due) return due > rhs.due;
+      return id > rhs.id;
+    }
+  };
+
+  void fire_due_timers();
+
+  int epoll_fd_ = -1;
+  bool stopped_ = false;
+  std::map<int, IoCallback> io_callbacks_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers_;
+  std::map<TimerId, TimerCallback> timer_callbacks_;
+  TimerId next_timer_ = 1;
+};
+
+}  // namespace jqos::net

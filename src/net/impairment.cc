@@ -1,0 +1,29 @@
+#include "net/impairment.h"
+
+namespace jqos::net {
+
+ImpairedLink::ImpairedLink(EventLoop& loop, UdpSocket& socket,
+                           const ImpairmentParams& params, Rng rng)
+    : loop_(loop), socket_(socket), params_(params), rng_(rng) {}
+
+void ImpairedLink::send(std::vector<std::uint8_t> data, const UdpEndpoint& dst) {
+  ++stats_.offered;
+  if (rng_.bernoulli(params_.drop_probability)) {
+    ++stats_.dropped;
+    return;
+  }
+  auto total_delay = params_.delay;
+  if (params_.jitter.count() > 0) {
+    total_delay += std::chrono::milliseconds(rng_.uniform_int(0, params_.jitter.count()));
+  }
+  ++stats_.sent;
+  if (total_delay.count() <= 0) {
+    socket_.send_to(data, dst);
+    return;
+  }
+  loop_.add_timer(total_delay, [this, data = std::move(data), dst] {
+    socket_.send_to(data, dst);
+  });
+}
+
+}  // namespace jqos::net

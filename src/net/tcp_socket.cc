@@ -1,0 +1,126 @@
+#include "net/tcp_socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace jqos::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+sockaddr_in local_addr(std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(0x7f000001);
+  sa.sin_port = htons(port);
+  return sa;
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(int fd) : fd_(fd) { set_nonblocking(fd_); }
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(other.fd_), rx_(std::move(other.rx_)) {
+  other.fd_ = -1;
+}
+
+std::optional<TcpConnection> TcpConnection::connect_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in sa = local_addr(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+bool TcpConnection::send_frame(std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return false;
+  std::vector<std::uint8_t> frame(4 + payload.size());
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  frame[0] = static_cast<std::uint8_t>(n >> 24);
+  frame[1] = static_cast<std::uint8_t>(n >> 16);
+  frame[2] = static_cast<std::uint8_t>(n >> 8);
+  frame[3] = static_cast<std::uint8_t>(n);
+  std::copy(payload.begin(), payload.end(), frame.begin() + 4);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t sent = ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // Loopback drains fast.
+      return false;
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+std::vector<std::vector<std::uint8_t>> TcpConnection::read_frames() {
+  std::vector<std::vector<std::uint8_t>> frames;
+  if (fd_ < 0) return frames;
+  std::uint8_t buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    rx_.insert(rx_.end(), buf, buf + n);
+  }
+  std::size_t pos = 0;
+  while (rx_.size() - pos >= 4) {
+    const std::uint32_t len = (static_cast<std::uint32_t>(rx_[pos]) << 24) |
+                              (static_cast<std::uint32_t>(rx_[pos + 1]) << 16) |
+                              (static_cast<std::uint32_t>(rx_[pos + 2]) << 8) |
+                              static_cast<std::uint32_t>(rx_[pos + 3]);
+    if (rx_.size() - pos - 4 < len) break;
+    frames.emplace_back(rx_.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                        rx_.begin() + static_cast<std::ptrdiff_t>(pos + 4 + len));
+    pos += 4 + len;
+  }
+  rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return frames;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("TCP socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = local_addr(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("TCP bind/listen failed");
+  }
+  socklen_t len = sizeof(sa);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+  port_ = ntohs(sa.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<TcpConnection> TcpListener::accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  return TcpConnection(fd);
+}
+
+}  // namespace jqos::net

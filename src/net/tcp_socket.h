@@ -1,0 +1,60 @@
+// Minimal non-blocking TCP wrappers for the live runtime's control channel
+// (the prototype "uses TCP for control channel traffic between the
+// endpoints and the data centers", Section 5). Control messages are
+// length-prefixed frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace jqos::net {
+
+class TcpConnection {
+ public:
+  explicit TcpConnection(int fd);
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+  TcpConnection& operator=(TcpConnection&&) = delete;
+
+  // Connects to 127.0.0.1:`port` (blocking connect, then non-blocking IO).
+  static std::optional<TcpConnection> connect_local(std::uint16_t port);
+
+  int fd() const { return fd_; }
+
+  // Queues one length-prefixed frame; returns false on a dead connection.
+  bool send_frame(std::span<const std::uint8_t> payload);
+
+  // Drains readable bytes and returns every complete frame received.
+  std::vector<std::vector<std::uint8_t>> read_frames();
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> rx_;
+};
+
+class TcpListener {
+ public:
+  // Listens on 127.0.0.1:`port` (0 = ephemeral).
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+  // Non-blocking accept.
+  std::optional<TcpConnection> accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace jqos::net

@@ -1,0 +1,82 @@
+#include "net/udp_socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace jqos::net {
+
+sockaddr_in UdpEndpoint::to_sockaddr() const {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ip_host_order);
+  sa.sin_port = htons(port);
+  return sa;
+}
+
+UdpEndpoint UdpEndpoint::from_sockaddr(const sockaddr_in& sa) {
+  UdpEndpoint ep;
+  ep.ip_host_order = ntohl(sa.sin_addr.s_addr);
+  ep.port = ntohs(sa.sin_port);
+  return ep;
+}
+
+std::string UdpEndpoint::to_string() const {
+  std::ostringstream os;
+  os << ((ip_host_order >> 24) & 0xff) << '.' << ((ip_host_order >> 16) & 0xff) << '.'
+     << ((ip_host_order >> 8) & 0xff) << '.' << (ip_host_order & 0xff) << ':' << port;
+  return os.str();
+}
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("UDP socket() failed");
+  UdpEndpoint ep;
+  ep.port = port;
+  sockaddr_in sa = ep.to_sockaddr();
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("UDP bind() failed");
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("getsockname() failed");
+  }
+  local_ = UdpEndpoint::from_sockaddr(sa);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(other.fd_), local_(other.local_) {
+  other.fd_ = -1;
+}
+
+ssize_t UdpSocket::send_to(std::span<const std::uint8_t> data, const UdpEndpoint& dst) {
+  sockaddr_in sa = dst.to_sockaddr();
+  return ::sendto(fd_, data.data(), data.size(), 0, reinterpret_cast<sockaddr*>(&sa),
+                  sizeof(sa));
+}
+
+std::optional<UdpSocket::Datagram> UdpSocket::recv() {
+  std::vector<std::uint8_t> buf(65536);
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) return std::nullopt;
+  buf.resize(static_cast<std::size_t>(n));
+  Datagram d;
+  d.data = std::move(buf);
+  d.from = UdpEndpoint::from_sockaddr(sa);
+  return d;
+}
+
+}  // namespace jqos::net

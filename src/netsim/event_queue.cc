@@ -1,0 +1,45 @@
+#include "netsim/event_queue.h"
+
+#include <cassert>
+
+namespace jqos::netsim {
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  const EventId id = next_id_++;
+  handlers_.push_back(std::move(fn));
+  cancelled_.push_back(false);
+  heap_.push(Entry{at, id});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id]) return;
+  if (!handlers_[id]) return;  // Already fired.
+  cancelled_[id] = true;
+  handlers_[id] = nullptr;
+  --live_count_;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  Fired fired{e.at, std::move(handlers_[e.id])};
+  handlers_[e.id] = nullptr;
+  --live_count_;
+  return fired;
+}
+
+}  // namespace jqos::netsim

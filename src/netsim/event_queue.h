@@ -1,0 +1,64 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events at equal timestamps are delivered in insertion order (a strict
+// tie-break on a monotonic sequence number), which keeps simulations fully
+// deterministic for a given seed -- a property the test suite asserts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace jqos::netsim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `at`; returns an id usable with cancel().
+  EventId push(SimTime at, EventFn fn);
+
+  // Lazily cancels a pending event. Cancelling an already-fired or unknown
+  // id is a no-op.
+  void cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  // Time of the earliest live event; only valid when !empty().
+  SimTime next_time();
+
+  // Pops and returns the earliest live event's function, advancing past any
+  // cancelled entries. Only valid when !empty().
+  struct Fired {
+    SimTime at;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;
+    // Ordered as a min-heap: earliest time first, then lowest id.
+    bool operator>(const Entry& rhs) const {
+      if (at != rhs.at) return at > rhs.at;
+      return id > rhs.id;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Handlers stored separately so cancel() is O(1); entry ids index here.
+  std::vector<EventFn> handlers_;
+  std::vector<bool> cancelled_;
+  EventId next_id_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace jqos::netsim

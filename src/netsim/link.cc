@@ -1,0 +1,46 @@
+#include "netsim/link.h"
+
+#include <algorithm>
+
+namespace jqos::netsim {
+
+Link::Link(Simulator& sim, NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
+           double bandwidth_bps, bool preserve_order)
+    : sim_(sim),
+      from_(from),
+      to_(to),
+      latency_(std::move(latency)),
+      loss_(std::move(loss)),
+      bandwidth_bps_(bandwidth_bps),
+      preserve_order_(preserve_order) {}
+
+void Link::send(const PacketPtr& pkt, DeliverFn deliver) {
+  const std::size_t bytes = pkt->wire_size();
+  ++stats_.offered_packets;
+  stats_.offered_bytes += bytes;
+
+  if (loss_->should_drop(sim_.now())) {
+    ++stats_.dropped_packets;
+    return;
+  }
+
+  SimTime depart = sim_.now();
+  if (bandwidth_bps_ > 0.0) {
+    const auto tx_time = static_cast<SimDuration>(
+        static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * 1e6);
+    const SimTime start = std::max(depart, tx_free_at_);
+    tx_free_at_ = start + tx_time;
+    depart = tx_free_at_;
+  }
+
+  SimTime arrive = depart + latency_->sample(sim_.now());
+  if (preserve_order_) {
+    arrive = std::max(arrive, last_arrival_);
+    last_arrival_ = arrive;
+  }
+  ++stats_.delivered_packets;
+  stats_.delivered_bytes += bytes;
+  sim_.at(arrive, [pkt, deliver = std::move(deliver)] { deliver(pkt); });
+}
+
+}  // namespace jqos::netsim

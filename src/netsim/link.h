@@ -1,0 +1,71 @@
+// A unidirectional link: loss process + delay process + optional bandwidth
+// with FIFO serialization, plus per-link counters the experiment harness
+// reads (offered/dropped/delivered packets and bytes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/packet.h"
+#include "netsim/latency_model.h"
+#include "netsim/loss_model.h"
+#include "netsim/simulator.h"
+
+namespace jqos::netsim {
+
+// Invoked when a packet crosses the link.
+using DeliverFn = std::function<void(const PacketPtr&)>;
+
+struct LinkStats {
+  std::uint64_t offered_packets = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t offered_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+
+  double loss_rate() const {
+    return offered_packets == 0
+               ? 0.0
+               : static_cast<double>(dropped_packets) / static_cast<double>(offered_packets);
+  }
+};
+
+class Link {
+ public:
+  // bandwidth_bps == 0 means unlimited (no serialization delay / queueing).
+  // When preserve_order is set (the default), arrivals are clamped to be
+  // non-decreasing, modelling a single-path route that may jitter but does
+  // not reorder -- which is what the receiver's gap-based loss detection
+  // assumes of Internet paths.
+  Link(Simulator& sim, NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
+       double bandwidth_bps = 0.0, bool preserve_order = true);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Offers a packet to the link; if it survives the loss process it is
+  // delivered to `deliver` after serialization + queueing + propagation.
+  void send(const PacketPtr& pkt, DeliverFn deliver);
+
+  NodeId from() const { return from_; }
+  NodeId to() const { return to_; }
+  const LinkStats& stats() const { return stats_; }
+  SimDuration base_latency() const { return latency_->base(); }
+
+ private:
+  Simulator& sim_;
+  NodeId from_;
+  NodeId to_;
+  LatencyModelPtr latency_;
+  LossModelPtr loss_;
+  double bandwidth_bps_;
+  bool preserve_order_;
+  // Time at which the transmitter finishes serializing the last queued
+  // packet; models FIFO queueing under finite bandwidth.
+  SimTime tx_free_at_ = 0;
+  // Latest arrival scheduled so far; used to prevent reordering.
+  SimTime last_arrival_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace jqos::netsim

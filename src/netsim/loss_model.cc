@@ -1,0 +1,137 @@
+#include "netsim/loss_model.h"
+
+#include <algorithm>
+
+namespace jqos::netsim {
+namespace {
+
+class NoLoss final : public LossModel {
+ public:
+  bool should_drop(SimTime) override { return false; }
+};
+
+class BernoulliLoss final : public LossModel {
+ public:
+  BernoulliLoss(double p, Rng rng) : p_(p), rng_(rng) {}
+  bool should_drop(SimTime) override { return rng_.bernoulli(p_); }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+class GilbertElliott final : public LossModel {
+ public:
+  GilbertElliott(const GilbertElliottParams& params, Rng rng) : p_(params), rng_(rng) {}
+
+  bool should_drop(SimTime) override {
+    if (in_bad_) {
+      if (rng_.bernoulli(p_.p_bad_to_good)) in_bad_ = false;
+    } else {
+      if (rng_.bernoulli(p_.p_good_to_bad)) in_bad_ = true;
+    }
+    return rng_.bernoulli(in_bad_ ? p_.loss_in_bad : p_.loss_in_good);
+  }
+
+ private:
+  GilbertElliottParams p_;
+  Rng rng_;
+  bool in_bad_ = false;
+};
+
+class GoogleBurst final : public LossModel {
+ public:
+  GoogleBurst(double p_first, double p_subsequent, Rng rng)
+      : p_first_(p_first), p_subsequent_(p_subsequent), rng_(rng) {}
+
+  bool should_drop(SimTime) override {
+    const bool drop = rng_.bernoulli(in_burst_ ? p_subsequent_ : p_first_);
+    in_burst_ = drop;
+    return drop;
+  }
+
+ private:
+  double p_first_;
+  double p_subsequent_;
+  Rng rng_;
+  bool in_burst_ = false;
+};
+
+class OutageOver final : public LossModel {
+ public:
+  OutageOver(LossModelPtr inner, const OutageParams& params, Rng rng)
+      : inner_(std::move(inner)), params_(params), rng_(rng) {
+    schedule_next(kSimStart);
+  }
+
+  bool should_drop(SimTime now) override {
+    // Advance the outage state machine to `now`. Multiple outages may have
+    // elapsed between packets on slow flows.
+    while (now >= next_start_) {
+      if (now < next_end_) return true;  // Inside the current outage.
+      schedule_next(next_end_);
+    }
+    return inner_->should_drop(now);
+  }
+
+ private:
+  void schedule_next(SimTime from) {
+    const double gap = rng_.exponential(static_cast<double>(params_.mean_interval));
+    next_start_ = from + static_cast<SimDuration>(gap);
+    next_end_ = next_start_ +
+                rng_.uniform_int(params_.min_len, std::max(params_.min_len, params_.max_len));
+  }
+
+  LossModelPtr inner_;
+  OutageParams params_;
+  Rng rng_;
+  SimTime next_start_ = 0;
+  SimTime next_end_ = 0;
+};
+
+class ScheduledOutages final : public LossModel {
+ public:
+  ScheduledOutages(LossModelPtr inner, std::vector<OutageWindow> windows)
+      : inner_(std::move(inner)), windows_(std::move(windows)) {
+    std::sort(windows_.begin(), windows_.end(),
+              [](const OutageWindow& a, const OutageWindow& b) { return a.start < b.start; });
+  }
+
+  bool should_drop(SimTime now) override {
+    // Windows are sorted; skip the ones already past.
+    while (idx_ < windows_.size() && now >= windows_[idx_].end) ++idx_;
+    if (idx_ < windows_.size() && now >= windows_[idx_].start) return true;
+    return inner_->should_drop(now);
+  }
+
+ private:
+  LossModelPtr inner_;
+  std::vector<OutageWindow> windows_;
+  std::size_t idx_ = 0;
+};
+
+}  // namespace
+
+LossModelPtr make_no_loss() { return std::make_unique<NoLoss>(); }
+
+LossModelPtr make_bernoulli_loss(double p, Rng rng) {
+  return std::make_unique<BernoulliLoss>(p, rng);
+}
+
+LossModelPtr make_gilbert_elliott(const GilbertElliottParams& params, Rng rng) {
+  return std::make_unique<GilbertElliott>(params, rng);
+}
+
+LossModelPtr make_google_burst(double p_first, double p_subsequent, Rng rng) {
+  return std::make_unique<GoogleBurst>(p_first, p_subsequent, rng);
+}
+
+LossModelPtr make_outage_over(LossModelPtr inner, const OutageParams& params, Rng rng) {
+  return std::make_unique<OutageOver>(std::move(inner), params, rng);
+}
+
+LossModelPtr make_scheduled_outages(LossModelPtr inner, std::vector<OutageWindow> windows) {
+  return std::make_unique<ScheduledOutages>(std::move(inner), std::move(windows));
+}
+
+}  // namespace jqos::netsim

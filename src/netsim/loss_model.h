@@ -1,0 +1,72 @@
+// Packet-loss processes for simulated paths.
+//
+// The paper's PlanetLab study (Section 6.2.2, Figure 8(b)) classifies loss
+// episodes into Random (single packet), Multi-Packet (2-14 packets) and
+// Outage (>14 packets, observed lasting 1-3 seconds); its TCP case study
+// (Section 6.4) uses the Google study's burst model (first-loss probability
+// 0.01, subsequent-loss probability 0.5). The models here generate exactly
+// those processes; inter-DC cloud paths use loss rates an order of magnitude
+// lower, per the measurements the paper cites.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace jqos::netsim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  // Decides the fate of one packet offered to the link at `now`. Stateful
+  // models (bursts, outages) advance their state on every call.
+  virtual bool should_drop(SimTime now) = 0;
+};
+
+using LossModelPtr = std::unique_ptr<LossModel>;
+
+// Never drops; cloud inter-DC links in the idealized configuration.
+LossModelPtr make_no_loss();
+
+// Independent (random) loss with probability p per packet.
+LossModelPtr make_bernoulli_loss(double p, Rng rng);
+
+// Two-state Gilbert-Elliott: GOOD state drops with p_good, BAD with p_bad;
+// transition probabilities are evaluated per packet. Produces the
+// multi-packet bursts of Figure 8(b).
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.0005;
+  double p_bad_to_good = 0.25;
+  double loss_in_good = 0.0;
+  double loss_in_bad = 0.8;
+};
+LossModelPtr make_gilbert_elliott(const GilbertElliottParams& params, Rng rng);
+
+// The Google web-study model used in Section 6.4: the first packet of a
+// burst is lost with p_first; once a loss happens, each subsequent packet is
+// lost with p_subsequent until a packet survives.
+LossModelPtr make_google_burst(double p_first, double p_subsequent, Rng rng);
+
+// Wall-clock outage process layered over an inner model: outages start as a
+// Poisson process with the given mean inter-arrival time and last a uniform
+// duration in [min_len, max_len]; all packets offered during an outage are
+// dropped. Models the 1-3 s outages seen on 45% of PlanetLab paths.
+struct OutageParams {
+  SimDuration mean_interval = minutes(30);
+  SimDuration min_len = sec(1);
+  SimDuration max_len = sec(3);
+};
+LossModelPtr make_outage_over(LossModelPtr inner, const OutageParams& params, Rng rng);
+
+// Drops during explicit windows; used by case studies that script a single
+// 30-second outage (Section 6.3).
+struct OutageWindow {
+  SimTime start;
+  SimTime end;
+};
+LossModelPtr make_scheduled_outages(LossModelPtr inner, std::vector<OutageWindow> windows);
+
+}  // namespace jqos::netsim

@@ -1,0 +1,45 @@
+#include "netsim/network.h"
+
+#include "common/logging.h"
+
+namespace jqos::netsim {
+
+void Network::attach(Node& node) { nodes_[node.id()] = &node; }
+
+Link& Network::add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
+                        double bandwidth_bps, bool preserve_order) {
+  auto link = std::make_unique<Link>(sim_, from, to, std::move(latency), std::move(loss),
+                                     bandwidth_bps, preserve_order);
+  Link& ref = *link;
+  links_[{from, to}] = std::move(link);
+  return ref;
+}
+
+void Network::send(NodeId from, const PacketPtr& pkt) {
+  Link* l = link(from, pkt->dst);
+  if (l == nullptr) {
+    ++routing_failures_;
+    JQOS_WARN("no link " << from << " -> " << pkt->dst << " for " << to_string(pkt->type));
+    return;
+  }
+  l->send(pkt, [this, dst = pkt->dst](const PacketPtr& delivered) {
+    auto it = nodes_.find(dst);
+    if (it == nodes_.end()) {
+      ++routing_failures_;
+      return;
+    }
+    it->second->handle_packet(delivered);
+  });
+}
+
+Link* Network::link(NodeId from, NodeId to) {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+const Link* Network::link(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace jqos::netsim

@@ -1,0 +1,64 @@
+// The network fabric: nodes addressed by NodeId, connected by directed
+// links. Nodes (end hosts, data centers) implement the Node interface and
+// call Network::send to transmit; the fabric applies the link's loss/delay
+// processes and hands surviving packets to the destination node.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/packet.h"
+#include "netsim/link.h"
+#include "netsim/simulator.h"
+
+namespace jqos::netsim {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  virtual NodeId id() const = 0;
+
+  // Delivery upcall: `pkt` survived the link and has arrived at this node.
+  virtual void handle_packet(const PacketPtr& pkt) = 0;
+};
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return sim_; }
+
+  // Allocates a fresh NodeId (ids start at 1; 0 is kInvalidNode).
+  NodeId allocate_id() { return next_id_++; }
+
+  // Registers a node; the node must outlive the network. A node must be
+  // attached before packets can be delivered to it.
+  void attach(Node& node);
+
+  // Installs a directed link. Replaces any existing from->to link.
+  Link& add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
+                 double bandwidth_bps = 0.0, bool preserve_order = true);
+
+  // Sends pkt->dst via the from->dst link. Requires the link to exist;
+  // packets to unattached or unreachable nodes are counted and dropped.
+  void send(NodeId from, const PacketPtr& pkt);
+
+  Link* link(NodeId from, NodeId to);
+  const Link* link(NodeId from, NodeId to) const;
+
+  std::uint64_t routing_failures() const { return routing_failures_; }
+
+ private:
+  Simulator& sim_;
+  NodeId next_id_ = 1;
+  std::map<NodeId, Node*> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  std::uint64_t routing_failures_ = 0;
+};
+
+}  // namespace jqos::netsim

@@ -1,0 +1,48 @@
+#include "netsim/simulator.h"
+
+#include <stdexcept>
+
+namespace jqos::netsim {
+
+EventId Simulator::at(SimTime t, EventFn fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulator::after(SimDuration d, EventFn fn) {
+  if (d < 0) d = 0;
+  return queue_.push(now_ + d, std::move(fn));
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    ++processed_;
+    fn();
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    ++processed_;
+    fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+std::size_t Simulator::step(std::size_t n) {
+  std::size_t ran = 0;
+  while (ran < n && !queue_.empty()) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    ++processed_;
+    ++ran;
+    fn();
+  }
+  return ran;
+}
+
+}  // namespace jqos::netsim

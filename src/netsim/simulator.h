@@ -1,0 +1,45 @@
+// The simulation clock and scheduler.
+//
+// Everything in the simulated J-QoS deployment -- link deliveries, coding
+// queue timers, NACK timers, application send loops -- is an event on this
+// single queue, mirroring how the real prototype multiplexes timers on one
+// event loop per process.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/event_queue.h"
+
+namespace jqos::netsim {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedules at an absolute simulated time (must be >= now()).
+  EventId at(SimTime t, EventFn fn);
+
+  // Schedules `d` after now(); negative delays clamp to "immediately".
+  EventId after(SimDuration d, EventFn fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs events until the queue is empty.
+  void run();
+
+  // Runs events with timestamp <= deadline, then sets now() = deadline.
+  void run_until(SimTime deadline);
+
+  // Runs at most `n` further events; returns how many actually ran.
+  std::size_t step(std::size_t n = 1);
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = kSimStart;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace jqos::netsim

@@ -1,0 +1,26 @@
+#include "overlay/cost_model.h"
+
+namespace jqos::overlay {
+
+double CostModel::forwarding_hourly_usd(double gb_per_hour, unsigned threads) const {
+  const double bandwidth = 2.0 * gb_per_hour * p_.egress_usd_per_gb;
+  return bandwidth + threads * p_.compute_usd_per_thread_hour;
+}
+
+double CostModel::caching_hourly_usd(double gb_per_hour, double recovery_fraction,
+                                     unsigned threads) const {
+  const double bandwidth =
+      (gb_per_hour + gb_per_hour * recovery_fraction) * p_.egress_usd_per_gb;
+  return bandwidth + threads * p_.compute_usd_per_thread_hour;
+}
+
+double CostModel::coding_hourly_usd(double gb_per_hour, double coding_rate,
+                                    unsigned threads) const {
+  // Coded volume crosses DC1 -> DC2; the recovery upper bound assumes every
+  // coded byte is also egressed once from DC2 toward a receiver.
+  const double coded_gb = gb_per_hour * coding_rate;
+  const double bandwidth = 2.0 * coded_gb * p_.egress_usd_per_gb;
+  return bandwidth + threads * p_.compute_usd_per_thread_hour;
+}
+
+}  // namespace jqos::overlay

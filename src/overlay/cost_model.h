@@ -1,0 +1,60 @@
+// Cloud pricing and the Section 6.6 cost arithmetic.
+//
+// The model captures the pricing asymmetry J-QoS exploits: ingress is free,
+// egress is charged per GB, and compute is charged per thread-hour. The
+// headline comparison (forwarding $17.60/h vs coding $1.10/h for 150 Skype
+// calls at r = 1/16) falls out of these constants.
+#pragma once
+
+#include <cstdint>
+
+namespace jqos::overlay {
+
+struct Pricing {
+  // Representative 2019 list prices used in the paper's back-of-the-envelope
+  // (Azure/AWS internet egress around $0.087/GB at volume; ingress free).
+  double egress_usd_per_gb = 0.087;
+  double ingress_usd_per_gb = 0.0;
+  double compute_usd_per_thread_hour = 0.13;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(Pricing pricing = {}) : p_(pricing) {}
+
+  const Pricing& pricing() const { return p_; }
+
+  // Dollars for a given egress volume.
+  double egress_cost_usd(double gigabytes) const { return gigabytes * p_.egress_usd_per_gb; }
+  double egress_cost_from_bytes(std::uint64_t bytes) const {
+    return egress_cost_usd(static_cast<double>(bytes) / 1e9);
+  }
+
+  // Section 6.6 service-level hourly costs for an aggregate offered load of
+  // `gb_per_hour` application data through a 2-DC overlay.
+  //
+  // Forwarding egresses every byte twice (DC1 -> DC2, DC2 -> receiver).
+  double forwarding_hourly_usd(double gb_per_hour, unsigned threads = 1) const;
+
+  // Caching egresses the DC1 -> DC2 copy, plus recovered bytes from DC2;
+  // `recovery_fraction` is the fraction of bytes pulled after loss.
+  double caching_hourly_usd(double gb_per_hour, double recovery_fraction,
+                            unsigned threads = 1) const;
+
+  // Coding egresses only coded packets (rate r) DC1 -> DC2, and at most the
+  // same volume again from DC2 during recovery (the paper's upper bound that
+  // every coded packet is used).
+  double coding_hourly_usd(double gb_per_hour, double coding_rate,
+                           unsigned threads = 1) const;
+
+ private:
+  Pricing p_;
+};
+
+// Per-user application constants used by the Section 6.6 estimate.
+struct SkypeLoad {
+  double gb_per_user_hour = 0.675;  // 1.5 Mbps HD call.
+  unsigned calls_per_thread = 150;  // One encode thread handles 150 calls.
+};
+
+}  // namespace jqos::overlay

@@ -1,0 +1,28 @@
+#include "overlay/datacenter.h"
+
+#include "common/logging.h"
+
+namespace jqos::overlay {
+
+DataCenter::DataCenter(netsim::Network& net, DcId dc_id, std::string name)
+    : net_(net), node_id_(net.allocate_id()), dc_id_(dc_id), name_(std::move(name)) {
+  net_.attach(*this);
+}
+
+void DataCenter::send(const PacketPtr& pkt) {
+  egress_bytes_ += pkt->wire_size();
+  ++egress_packets_;
+  net_.send(node_id_, pkt);
+}
+
+void DataCenter::handle_packet(const PacketPtr& pkt) {
+  ingress_bytes_ += pkt->wire_size();
+  for (const auto& service : services_) {
+    if (service->handle(*this, pkt)) return;
+  }
+  ++unhandled_packets_;
+  JQOS_DEBUG(name_ << ": unhandled " << to_string(pkt->type) << " "
+                   << to_string(pkt->key()));
+}
+
+}  // namespace jqos::overlay

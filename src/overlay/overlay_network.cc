@@ -1,0 +1,61 @@
+#include "overlay/overlay_network.h"
+
+#include <stdexcept>
+
+#include "geo/coords.h"
+#include "netsim/latency_model.h"
+#include "netsim/loss_model.h"
+
+namespace jqos::overlay {
+
+OverlayNetwork::OverlayNetwork(netsim::Network& net, const std::vector<geo::CloudSite>& sites,
+                               const OverlayParams& params, Rng& rng)
+    : net_(net), params_(params), sites_(sites), rng_(rng.fork("overlay")) {
+  if (sites_.empty()) throw std::invalid_argument("OverlayNetwork: no sites");
+  dcs_.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    dcs_.push_back(
+        std::make_unique<DataCenter>(net_, static_cast<DcId>(i), sites_[i].name));
+  }
+  // Full mesh of inter-DC links (the cloud backbone).
+  for (std::size_t i = 0; i < dcs_.size(); ++i) {
+    for (std::size_t j = 0; j < dcs_.size(); ++j) {
+      if (i == j) continue;
+      const double km = geo::haversine_km(sites_[i].location, sites_[j].location);
+      netsim::JitterParams jp;
+      jp.base = msec_f(geo::propagation_ms(km, geo::kCloudInflation));
+      jp.jitter_sigma = params_.inter_dc_jitter_sigma;
+      jp.jitter_scale_ms = params_.inter_dc_jitter_scale_ms;
+      net_.add_link(dcs_[i]->id(), dcs_[j]->id(),
+                    netsim::make_jitter_latency(jp, rng_.fork("dc-link")),
+                    netsim::make_bernoulli_loss(params_.inter_dc_loss, rng_.fork("dc-loss")));
+    }
+  }
+}
+
+DataCenter* OverlayNetwork::dc_by_site(const std::string& site_name) {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].name == site_name) return dcs_[i].get();
+  }
+  return nullptr;
+}
+
+DataCenter& OverlayNetwork::nearest_dc(const geo::GeoPoint& p) {
+  const geo::CloudSite& s = geo::nearest_site(sites_, p);
+  DataCenter* dc = dc_by_site(s.name);
+  if (dc == nullptr) throw std::logic_error("nearest_dc: site without DC");
+  return *dc;
+}
+
+void OverlayNetwork::attach_host(NodeId host, DataCenter& dc, SimDuration one_way_delay) {
+  netsim::JitterParams jp;
+  jp.base = one_way_delay;
+  jp.jitter_sigma = params_.access_jitter_sigma;
+  jp.jitter_scale_ms = params_.access_jitter_scale_ms;
+  net_.add_link(host, dc.id(), netsim::make_jitter_latency(jp, rng_.fork("up")),
+                netsim::make_bernoulli_loss(params_.access_loss, rng_.fork("up-loss")));
+  net_.add_link(dc.id(), host, netsim::make_jitter_latency(jp, rng_.fork("down")),
+                netsim::make_bernoulli_loss(params_.access_loss, rng_.fork("down-loss")));
+}
+
+}  // namespace jqos::overlay

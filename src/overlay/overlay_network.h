@@ -1,0 +1,60 @@
+// The cloud overlay: a mesh of DataCenters built from geo::CloudSite
+// entries, with well-provisioned inter-DC links, plus helpers to attach end
+// hosts to their nearest DC.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/path_dataset.h"
+#include "geo/regions.h"
+#include "netsim/network.h"
+#include "overlay/datacenter.h"
+
+namespace jqos::overlay {
+
+struct OverlayParams {
+  // Inter-DC paths: order-of-magnitude lower loss than the public Internet
+  // and tight jitter (Section 2's measurements).
+  double inter_dc_loss = 1e-5;
+  double inter_dc_jitter_sigma = 0.2;
+  double inter_dc_jitter_scale_ms = 0.3;
+  // Access (host <-> DC) paths: low loss, modest jitter.
+  double access_loss = 1e-4;
+  double access_jitter_sigma = 0.3;
+  double access_jitter_scale_ms = 0.5;
+};
+
+class OverlayNetwork {
+ public:
+  OverlayNetwork(netsim::Network& net, const std::vector<geo::CloudSite>& sites,
+                 const OverlayParams& params, Rng& rng);
+
+  // The DC built for the i-th site passed at construction.
+  DataCenter& dc(std::size_t index) { return *dcs_.at(index); }
+  std::size_t dc_count() const { return dcs_.size(); }
+
+  // DC whose site name matches; nullptr if absent.
+  DataCenter* dc_by_site(const std::string& site_name);
+
+  // The DC nearest to a geographic point.
+  DataCenter& nearest_dc(const geo::GeoPoint& p);
+
+  // Installs bidirectional access links between a host node and a DC with
+  // the given one-way base delay.
+  void attach_host(NodeId host, DataCenter& dc, SimDuration one_way_delay);
+
+  const geo::CloudSite& site(std::size_t index) const { return sites_.at(index); }
+
+ private:
+  netsim::Network& net_;
+  OverlayParams params_;
+  std::vector<geo::CloudSite> sites_;
+  std::vector<std::unique_ptr<DataCenter>> dcs_;
+  Rng rng_;
+};
+
+}  // namespace jqos::overlay

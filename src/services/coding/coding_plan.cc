@@ -1,0 +1,10 @@
+#include "services/coding/coding_plan.h"
+
+namespace jqos::services {
+
+const FlowInfo* FlowRegistry::find(FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+}  // namespace jqos::services

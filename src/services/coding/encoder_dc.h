@@ -1,0 +1,91 @@
+// CR-WAN encoding at the ingress DC (DC1) -- Algorithm 1 of the paper.
+//
+// DC1 keeps two sets of queues: an in-stream queue per flow, and a set of
+// cross-stream queues per destination DC. An arriving data packet is copied
+// into one queue of each type; full queues are encoded into coded packets
+// (Reed-Solomon) and shipped to DC2 over the inter-DC path. Round-robin
+// placement avoids putting two packets of the same flow in one cross-stream
+// queue (Algorithm 1 lines 9-19); per-queue timers flush slow queues so one
+// fast flow is never held hostage by slow peers (Section 4.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/datacenter.h"
+#include "services/coding/coding_plan.h"
+
+namespace jqos::services {
+
+struct EncoderStats {
+  std::uint64_t data_packets = 0;
+  std::uint64_t in_batches = 0;
+  std::uint64_t cross_batches = 0;
+  std::uint64_t coded_sent = 0;
+  std::uint64_t timer_flushes = 0;
+  std::uint64_t single_packet_evictions = 0;  // Algorithm 1 line 18.
+  std::uint64_t full_scan_flushes = 0;        // Algorithm 1 lines 13-16.
+  std::uint64_t unknown_flow = 0;
+};
+
+class CodingEncoderService final : public overlay::DcService {
+ public:
+  // `batch_id_base` namespaces batch ids so multiple encoder DCs sending to
+  // one recovery DC never collide (the encoder's DcId shifted high).
+  CodingEncoderService(overlay::DataCenter& dc, const CodingParams& params,
+                       FlowRegistryPtr registry);
+
+  const char* name() const override { return "cr-wan-encoder"; }
+
+  bool handle(overlay::DataCenter& dc, const PacketPtr& pkt) override;
+
+  // Flushes every non-empty queue immediately (end of experiment / ON
+  // interval), as the timers eventually would.
+  void flush_all();
+
+  const EncoderStats& stats() const { return stats_; }
+  const CodingParams& params() const { return params_; }
+
+ private:
+  struct Queue {
+    std::vector<PacketPtr> pkts;
+    netsim::EventId timer = 0;
+    bool timer_armed = false;
+    std::uint64_t generation = 0;  // Guards against stale timer firings.
+  };
+
+  void enqueue_in_stream(const PacketPtr& pkt);
+  void enqueue_cross_stream(const PacketPtr& pkt, NodeId dc2);
+
+  // Encodes and clears one queue; `coded` many parity packets go to `dc2`.
+  void encode_queue(Queue& q, std::size_t coded, PacketType type, NodeId dc2);
+
+  void arm_timer_in(FlowId flow);
+  void arm_timer_cross(NodeId dc2, std::size_t index);
+  void disarm(Queue& q);
+
+  bool queue_contains_flow(const Queue& q, FlowId flow) const;
+
+  overlay::DataCenter& dc_;
+  CodingParams params_;
+  FlowRegistryPtr registry_;
+  std::uint32_t next_batch_id_;
+
+  std::unordered_map<FlowId, Queue> in_qs_;
+  // Destination DC -> fixed-size vector of cross-stream queues.
+  std::map<NodeId, std::vector<Queue>> cross_qs_;
+  // Round-robin cursor per flow (Algorithm 1 line 7).
+  std::unordered_map<FlowId, std::size_t> rr_cursor_;
+  // Flows observed per destination-DC group. A group with fewer live flows
+  // than k can never fill a k-batch (no two packets of one flow share a
+  // batch), so the effective batch size adapts to the group population --
+  // the "pick a further subset of flows" step of Section 4.1.
+  std::map<NodeId, std::set<FlowId>> group_flows_;
+
+  EncoderStats stats_;
+};
+
+}  // namespace jqos::services

@@ -1,0 +1,64 @@
+// The forwarding service (Section 3.1).
+//
+// "Similar to IP forwarding, our forwarding service decides the next hop
+// based on the destination address of the packet. ... The next hop could be
+// another J-QoS service, an end-point (e.g., the receiver), or a multicast
+// group."
+//
+// The service consumes any packet whose final_dst is not this DC and relays
+// it one hop closer: either a configured next hop, or directly to final_dst
+// when a link exists (the overlay is small, so next-hop decisions are
+// simple and centrally configured -- Section 3.5). It also expands
+// multicast groups, fanning a single ingress stream out to every member,
+// which is the cloud-multicast use case of Figure 3(c).
+//
+// Forwarding doubles as the building block for caching and coding: copies
+// destined to a remote DC2 transit DC1 through this service.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "overlay/datacenter.h"
+
+namespace jqos::services {
+
+// Multicast group ids live in a reserved NodeId range so they can appear in
+// Packet::final_dst without colliding with real nodes.
+inline constexpr NodeId kMulticastBase = 0xf0000000;
+
+inline bool is_multicast(NodeId id) { return id >= kMulticastBase; }
+
+struct ForwardingStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t multicast_copies = 0;
+  std::uint64_t no_route = 0;
+};
+
+class ForwardingService final : public overlay::DcService {
+ public:
+  const char* name() const override { return "forwarding"; }
+
+  // Pin the next hop used for packets whose final destination is `dst`
+  // (e.g. route end-host packets via the DC nearest to them). Without an
+  // entry the packet is sent straight to its final destination.
+  void set_next_hop(NodeId dst, NodeId next_hop) { routes_[dst] = next_hop; }
+
+  // Registers a multicast group; packets with final_dst == group fan out to
+  // every member.
+  void set_multicast_group(NodeId group, std::vector<NodeId> members);
+
+  bool handle(overlay::DataCenter& dc, const PacketPtr& pkt) override;
+
+  const ForwardingStats& stats() const { return stats_; }
+
+ private:
+  void forward_unicast(overlay::DataCenter& dc, const PacketPtr& pkt, NodeId final_dst);
+
+  std::map<NodeId, NodeId> routes_;
+  std::map<NodeId, std::vector<NodeId>> groups_;
+  ForwardingStats stats_;
+};
+
+}  // namespace jqos::services

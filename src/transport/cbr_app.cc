@@ -1,0 +1,66 @@
+#include "transport/cbr_app.h"
+
+namespace jqos::transport {
+
+CbrApp::CbrApp(netsim::Simulator& sim, endpoint::Sender& sender, FlowId flow,
+               const CbrParams& params, Rng rng)
+    : sim_(sim), sender_(sender), flow_(flow), params_(params), rng_(rng) {
+  gap_ = static_cast<SimDuration>(1e6 / params_.packets_per_second);
+}
+
+void CbrApp::start(SimTime until) {
+  until_ = until;
+  sim_.after(params_.initial_skew, [this] { begin_on_interval(); });
+}
+
+std::vector<SimTime> CbrApp::make_schedule(SimTime from, SimTime until,
+                                           const CbrParams& params, Rng& rng) {
+  std::vector<SimTime> starts;
+  SimTime t = from;
+  while (t < until) {
+    starts.push_back(t);
+    t += params.on_duration +
+         static_cast<SimDuration>(rng.exponential(static_cast<double>(params.mean_off)));
+  }
+  return starts;
+}
+
+void CbrApp::start_with_schedule(std::vector<SimTime> on_starts, SimTime until) {
+  until_ = until;
+  schedule_ = std::move(on_starts);
+  next_session_ = 0;
+  if (schedule_.empty()) return;
+  const SimTime first = schedule_[0] + params_.initial_skew;
+  ++next_session_;
+  sim_.at(std::max(first, sim_.now()), [this] { begin_on_interval(); });
+}
+
+void CbrApp::begin_on_interval() {
+  if (sim_.now() >= until_) return;
+  ++stats_.on_intervals;
+  on_ends_at_ = sim_.now() + params_.on_duration;
+  tick();
+}
+
+void CbrApp::tick() {
+  if (sim_.now() >= until_) return;
+  if (sim_.now() >= on_ends_at_) {
+    if (!schedule_.empty()) {
+      // Synchronized mode: wait for the next announced ON start.
+      if (next_session_ >= schedule_.size()) return;
+      const SimTime next = schedule_[next_session_++] + params_.initial_skew;
+      sim_.at(std::max(next, sim_.now()), [this] { begin_on_interval(); });
+      return;
+    }
+    // OFF period: exponentially distributed with the configured mean.
+    const auto off = static_cast<SimDuration>(
+        rng_.exponential(static_cast<double>(params_.mean_off)));
+    sim_.after(off, [this] { begin_on_interval(); });
+    return;
+  }
+  sender_.send(flow_, params_.payload_bytes);
+  ++stats_.packets_sent;
+  sim_.after(gap_, [this] { tick(); });
+}
+
+}  // namespace jqos::transport

@@ -1,0 +1,72 @@
+// The constant-bit-rate ON/OFF probe application used by the PlanetLab
+// deployment (Section 6.2.1): "In each ON interval, we send packets for 5
+// minutes; we set the mean OFF time to be 55 minutes" with Poisson OFF
+// times and constant ON times. The experiment harness uses compressed
+// timescales with the same structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "endpoint/sender.h"
+#include "netsim/simulator.h"
+
+namespace jqos::transport {
+
+struct CbrParams {
+  SimDuration on_duration = minutes(5);
+  SimDuration mean_off = minutes(55);
+  double packets_per_second = 20.0;
+  std::size_t payload_bytes = 512;
+  // Whether the app starts in an ON interval (senders are loosely
+  // synchronized by DC1's control channel in the deployment; we model that
+  // by starting all apps ON at t=start + small per-app skew).
+  SimDuration initial_skew = 0;
+};
+
+struct CbrStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t on_intervals = 0;
+};
+
+class CbrApp {
+ public:
+  CbrApp(netsim::Simulator& sim, endpoint::Sender& sender, FlowId flow,
+         const CbrParams& params, Rng rng);
+
+  // Schedules traffic from now until `until` (absolute sim time), drawing
+  // OFF periods independently.
+  void start(SimTime until);
+
+  // Runs ON intervals at the given absolute start times (plus this app's
+  // initial_skew). This is the deployment mode: DC1's control channel
+  // announces ON starts so senders stay loosely synchronized and the
+  // encoder always sees concurrent streams (Section 6.2.1).
+  void start_with_schedule(std::vector<SimTime> on_starts, SimTime until);
+
+  // Generates a shared ON-interval schedule for synchronized apps.
+  static std::vector<SimTime> make_schedule(SimTime from, SimTime until,
+                                            const CbrParams& params, Rng& rng);
+
+  const CbrStats& stats() const { return stats_; }
+
+ private:
+  void begin_on_interval();
+  void tick();
+
+  netsim::Simulator& sim_;
+  endpoint::Sender& sender_;
+  FlowId flow_;
+  CbrParams params_;
+  Rng rng_;
+  SimTime until_ = 0;
+  SimTime on_ends_at_ = 0;
+  SimDuration gap_ = 0;
+  // Synchronized mode: pre-announced ON starts; empty = independent mode.
+  std::vector<SimTime> schedule_;
+  std::size_t next_session_ = 0;
+  CbrStats stats_;
+};
+
+}  // namespace jqos::transport

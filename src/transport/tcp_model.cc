@@ -1,0 +1,389 @@
+#include "transport/tcp_model.h"
+
+#include <algorithm>
+
+#include "common/wire.h"
+
+namespace jqos::transport {
+
+std::vector<std::uint8_t> TcpSegment::serialize(std::size_t pad_to) const {
+  ByteWriter w;
+  w.u32(conn_id);
+  w.u8(flags);
+  w.u32(seq);
+  w.u32(ack);
+  w.u32(total_segments);
+  w.u8(static_cast<std::uint8_t>(sacks.size()));
+  for (const auto& [lo, hi] : sacks) {
+    w.u32(lo);
+    w.u32(hi);
+  }
+  auto out = w.take();
+  if (out.size() < pad_to) out.resize(pad_to, 0);  // Model segment body bytes.
+  return out;
+}
+
+std::optional<TcpSegment> TcpSegment::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  TcpSegment seg;
+  seg.conn_id = r.u32();
+  seg.flags = r.u8();
+  seg.seq = r.u32();
+  seg.ack = r.u32();
+  seg.total_segments = r.u32();
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    std::uint32_t lo = r.u32();
+    std::uint32_t hi = r.u32();
+    seg.sacks.emplace_back(lo, hi);
+  }
+  if (!r.ok()) return std::nullopt;
+  return seg;
+}
+
+TcpWorkload::TcpWorkload(netsim::Network& net, endpoint::Sender& server,
+                         endpoint::Receiver& client, endpoint::SessionManager& sessions,
+                         endpoint::RegisterRequest session_template, const TcpParams& params)
+    : net_(net),
+      server_(server),
+      client_(client),
+      sessions_(sessions),
+      session_template_(std::move(session_template)),
+      params_(params) {
+  server_.set_receive_handler([this](const PacketPtr& pkt) { server_on_packet(pkt); });
+  client_.set_delivery_handler(
+      [this](const endpoint::DeliveryRecord& rec, const PacketPtr& pkt) {
+        if (rec.lost || pkt == nullptr || rec.flow != flow_) return;
+        auto seg = TcpSegment::parse(pkt->payload);
+        if (seg && seg->conn_id == conn_id_) client_on_segment(*seg, rec.recovered);
+      });
+}
+
+void TcpWorkload::run(std::size_t n, std::size_t response_bytes, std::size_t request_bytes,
+                      std::function<void()> on_all_done) {
+  remaining_ = n;
+  response_bytes_ = response_bytes;
+  request_bytes_ = request_bytes;
+  on_all_done_ = std::move(on_all_done);
+  start_next_transfer();
+}
+
+void TcpWorkload::start_next_transfer() {
+  if (remaining_ == 0) {
+    if (on_all_done_) on_all_done_();
+    return;
+  }
+  --remaining_;
+  ++conn_id_;
+  transfer_done_ = false;
+
+  // Fresh J-QoS flow per connection: clean sequence space end to end.
+  endpoint::Session session = sessions_.register_flow(server_, client_, session_template_);
+  flow_ = session.flow;
+
+  // Reset endpoint state.
+  syn_acked_ = false;
+  client_retries_ = 0;
+  client_total_segments_ = 0;
+  client_cumulative_ = 0;
+  client_received_.clear();
+  server_conn_open_ = false;
+  server_sending_ = false;
+  total_segments_ =
+      static_cast<std::uint32_t>((response_bytes_ + params_.mss - 1) / params_.mss);
+  next_to_send_ = 0;
+  highest_acked_ = 0;
+  sacked_.clear();
+  cwnd_ = static_cast<double>(params_.init_cwnd);
+  ssthresh_ = static_cast<double>(params_.init_ssthresh);
+  dup_acks_ = 0;
+  rto_ = params_.initial_rto;
+  rtt_measured_ = false;
+  srtt_ = 0.0;
+  rttvar_ = 0.0;
+  synack_retries_ = 0;
+  send_times_.clear();
+  retransmitted_.clear();
+
+  transfer_started_ = net_.sim().now();
+  client_send_syn();
+}
+
+// --------------------------- client side ----------------------------
+
+void TcpWorkload::client_send_syn() {
+  TcpSegment syn;
+  syn.conn_id = conn_id_;
+  syn.flags = TcpSegment::kSyn;
+  auto pkt = std::make_shared<Packet>();
+  pkt->type = PacketType::kData;
+  pkt->flow = flow_;
+  pkt->src = client_.id();
+  pkt->dst = server_.id();
+  pkt->sent_at = net_.sim().now();
+  pkt->payload = syn.serialize(40);
+  net_.send(client_.id(), pkt);
+
+  const std::uint64_t gen = ++client_timer_gen_;
+  const SimDuration backoff = params_.initial_rto << std::min(client_retries_, 6);
+  net_.sim().after(backoff, [this, gen] { client_handshake_timer_fired(gen); });
+}
+
+void TcpWorkload::client_handshake_timer_fired(std::uint64_t gen) {
+  if (gen != client_timer_gen_ || transfer_done_ || syn_acked_) return;
+  if (++client_retries_ > params_.max_handshake_retries) {
+    // Connection abandoned; count the elapsed time as the completion time
+    // (the user gave up -- an extreme tail event).
+    transfer_complete();
+    return;
+  }
+  client_send_syn();
+}
+
+void TcpWorkload::client_send_request() {
+  TcpSegment req;
+  req.conn_id = conn_id_;
+  req.flags = TcpSegment::kReq | TcpSegment::kAck;
+  auto pkt = std::make_shared<Packet>();
+  pkt->type = PacketType::kData;
+  pkt->flow = flow_;
+  pkt->src = client_.id();
+  pkt->dst = server_.id();
+  pkt->sent_at = net_.sim().now();
+  pkt->payload = req.serialize(request_bytes_);
+  net_.send(client_.id(), pkt);
+}
+
+void TcpWorkload::client_send_ack() {
+  TcpSegment ack;
+  ack.conn_id = conn_id_;
+  ack.flags = TcpSegment::kAck;
+  ack.ack = client_cumulative_;
+  // SACK ranges: contiguous runs from the out-of-order set, at most 4.
+  std::uint32_t prev = 0;
+  bool open = false;
+  std::uint32_t lo = 0;
+  for (auto it = client_received_.lower_bound(client_cumulative_);
+       it != client_received_.end(); ++it) {
+    if (!open) {
+      lo = *it;
+      open = true;
+    } else if (*it != prev + 1) {
+      ack.sacks.emplace_back(lo, prev + 1);
+      lo = *it;
+    }
+    prev = *it;
+    if (ack.sacks.size() >= 4) break;
+  }
+  if (open && ack.sacks.size() < 4) ack.sacks.emplace_back(lo, prev + 1);
+
+  auto pkt = std::make_shared<Packet>();
+  pkt->type = PacketType::kData;
+  pkt->flow = flow_;
+  pkt->src = client_.id();
+  pkt->dst = server_.id();
+  pkt->sent_at = net_.sim().now();
+  pkt->payload = ack.serialize(40);
+  ++acks_sent_;
+  net_.send(client_.id(), pkt);
+}
+
+void TcpWorkload::client_on_segment(const TcpSegment& seg, bool via_recovery) {
+  (void)via_recovery;  // Recovered segments are ACKed exactly like direct ones.
+  if (transfer_done_) return;
+  if (seg.flags & TcpSegment::kSyn) {
+    if (!syn_acked_) {
+      syn_acked_ = true;
+      ++client_timer_gen_;  // Cancel the SYN retransmit timer.
+      client_send_request();
+    } else {
+      client_send_request();  // Duplicate SYN-ACK: our request was lost.
+    }
+    return;
+  }
+  if ((seg.flags & TcpSegment::kData) == 0) return;
+  client_total_segments_ = seg.total_segments;
+  client_received_.insert(seg.seq);
+  while (client_received_.count(client_cumulative_) != 0) {
+    client_received_.erase(client_cumulative_);
+    ++client_cumulative_;
+  }
+  client_send_ack();
+  if (client_total_segments_ > 0 && client_cumulative_ >= client_total_segments_) {
+    transfer_complete();
+  }
+}
+
+// --------------------------- server side ----------------------------
+
+void TcpWorkload::server_on_packet(const PacketPtr& pkt) {
+  auto seg = TcpSegment::parse(pkt->payload);
+  if (!seg || seg->conn_id != conn_id_ || transfer_done_) return;
+  if (seg->flags & TcpSegment::kSyn) {
+    if (!server_conn_open_) {
+      server_conn_open_ = true;
+      server_send_synack();
+    } else if (!server_sending_) {
+      server_send_synack();  // Duplicate SYN: our SYN-ACK was likely lost.
+    }
+    return;
+  }
+  if (seg->flags & TcpSegment::kReq) {
+    if (!server_sending_) server_begin_response();
+    return;
+  }
+  if (seg->flags & TcpSegment::kAck) server_on_ack(*seg);
+}
+
+void TcpWorkload::server_send_synack() {
+  TcpSegment synack;
+  synack.conn_id = conn_id_;
+  synack.flags = TcpSegment::kSyn | TcpSegment::kAck;
+  synack.total_segments = total_segments_;
+  ++server_stats_.synack_sent;
+  server_.send_payload(flow_, synack.serialize(40));
+
+  // Retransmit until the request arrives, with exponential backoff.
+  const std::uint64_t gen = ++server_timer_gen_;
+  const SimDuration backoff = params_.initial_rto << std::min(synack_retries_, 6);
+  net_.sim().after(backoff, [this, gen] {
+    if (gen != server_timer_gen_ || transfer_done_ || server_sending_) return;
+    if (++synack_retries_ > params_.max_handshake_retries) return;
+    ++server_stats_.synack_retransmits;
+    server_send_synack();
+  });
+}
+
+void TcpWorkload::server_begin_response() {
+  server_sending_ = true;
+  ++server_timer_gen_;  // Cancel SYN-ACK retransmission.
+  server_send_window();
+  server_arm_rto();
+}
+
+void TcpWorkload::server_send_window() {
+  // Inflight: first-hole-based estimate (unacked, unsacked, already sent).
+  while (next_to_send_ < total_segments_) {
+    std::size_t inflight = 0;
+    for (std::uint32_t s = highest_acked_; s < next_to_send_; ++s) {
+      if (sacked_.count(s) == 0) ++inflight;
+    }
+    if (inflight >= static_cast<std::size_t>(cwnd_)) break;
+    server_send_segment(next_to_send_, /*retransmit=*/false);
+    ++next_to_send_;
+  }
+}
+
+void TcpWorkload::server_send_segment(std::uint32_t seq, bool retransmit) {
+  TcpSegment seg;
+  seg.conn_id = conn_id_;
+  seg.flags = TcpSegment::kData;
+  seg.seq = seq;
+  seg.total_segments = total_segments_;
+  const std::size_t body =
+      std::min(params_.mss, response_bytes_ - static_cast<std::size_t>(seq) * params_.mss);
+  ++server_stats_.segments_sent;
+  if (retransmit) {
+    ++server_stats_.retransmits;
+    retransmitted_[seq] = net_.sim().now();
+  } else {
+    send_times_[seq] = net_.sim().now();
+  }
+  server_.send_payload(flow_, seg.serialize(std::max<std::size_t>(body, 18)));
+}
+
+void TcpWorkload::server_update_rtt(SimDuration sample) {
+  const double s = static_cast<double>(sample);
+  if (!rtt_measured_) {
+    srtt_ = s;
+    rttvar_ = s / 2.0;
+    rtt_measured_ = true;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - s);
+    srtt_ = 0.875 * srtt_ + 0.125 * s;
+  }
+  const auto rto = static_cast<SimDuration>(srtt_ + 4.0 * rttvar_);
+  rto_ = std::clamp(rto, params_.min_rto, params_.max_rto);
+}
+
+void TcpWorkload::server_on_ack(const TcpSegment& seg) {
+  if (!server_sending_) return;
+  for (const auto& [lo, hi] : seg.sacks) {
+    for (std::uint32_t s = lo; s < hi && s < total_segments_; ++s) sacked_.insert(s);
+  }
+  if (seg.ack > highest_acked_) {
+    const std::uint32_t newly = seg.ack - highest_acked_;
+    // RTT sample from the highest newly-acked first-transmission segment.
+    auto ts = send_times_.find(seg.ack - 1);
+    if (ts != send_times_.end() && retransmitted_.count(seg.ack - 1) == 0) {
+      server_update_rtt(net_.sim().now() - ts->second);
+    }
+    for (std::uint32_t s = highest_acked_; s < seg.ack; ++s) {
+      send_times_.erase(s);
+      retransmitted_.erase(s);
+      sacked_.erase(s);
+    }
+    highest_acked_ = seg.ack;
+    dup_acks_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += newly;  // Slow start.
+    } else {
+      cwnd_ += static_cast<double>(newly) / cwnd_;  // Congestion avoidance.
+    }
+    if (highest_acked_ >= total_segments_) {
+      ++server_timer_gen_;  // All data acked; stop the RTO timer.
+      return;
+    }
+    server_arm_rto();
+    server_send_window();
+    return;
+  }
+  // Duplicate cumulative ACK.
+  ++dup_acks_;
+  if (dup_acks_ >= params_.dupack_threshold) {
+    dup_acks_ = 0;
+    ++server_stats_.fast_retransmits;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = ssthresh_;
+    // SACK-style: retransmit every hole below the highest SACKed segment,
+    // unless it was retransmitted within the last RTO.
+    const std::uint32_t high = sacked_.empty() ? highest_acked_ + 1 : *sacked_.rbegin() + 1;
+    for (std::uint32_t s = highest_acked_; s < high && s < total_segments_; ++s) {
+      if (sacked_.count(s) != 0) continue;
+      auto rt = retransmitted_.find(s);
+      if (rt != retransmitted_.end() && net_.sim().now() - rt->second < rto_) continue;
+      server_send_segment(s, /*retransmit=*/true);
+    }
+    server_arm_rto();
+  }
+}
+
+void TcpWorkload::server_arm_rto() {
+  const std::uint64_t gen = ++server_timer_gen_;
+  net_.sim().after(rto_, [this, gen] { server_rto_fired(gen); });
+}
+
+void TcpWorkload::server_rto_fired(std::uint64_t gen) {
+  if (gen != server_timer_gen_ || transfer_done_ || !server_sending_) return;
+  if (highest_acked_ >= total_segments_) return;
+  ++server_stats_.timeouts;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  rto_ = std::min<SimDuration>(rto_ * 2, params_.max_rto);
+  server_send_segment(highest_acked_, /*retransmit=*/true);
+  server_arm_rto();
+}
+
+void TcpWorkload::transfer_complete() {
+  if (transfer_done_) return;
+  transfer_done_ = true;
+  ++server_timer_gen_;
+  ++client_timer_gen_;
+  ++completed_;
+  fct_ms_.add(to_ms(net_.sim().now() - transfer_started_));
+  // Start the next transfer on a fresh event so current callbacks unwind.
+  net_.sim().after(msec(10), [this] { start_next_transfer(); });
+}
+
+}  // namespace jqos::transport

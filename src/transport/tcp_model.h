@@ -1,0 +1,165 @@
+// Simplified-but-faithful TCP over the simulator, for the Section 6.4 case
+// study (short web transfers under the Google study's bursty loss model).
+//
+// The model captures exactly the mechanisms that experiment is about:
+//  * three-way-handshake losses (SYN / SYN-ACK retransmission with 1 s
+//    initial RTO and exponential backoff -- the dominant tail contributor);
+//  * slow start / congestion avoidance, SACK-based fast retransmit, and
+//    RTO with exponential backoff for tail losses;
+//  * the J-QoS interception trick: data segments travel through the J-QoS
+//    reliability layer, so a packet recovered by J-QoS reaches the client's
+//    TCP which ACKs it immediately, hiding the loss from the server and
+//    avoiding the timeout.
+//
+// One TcpWorkload object drives N sequential request/response transfers
+// between a client host (a jqos::endpoint::Receiver) and a server host (a
+// jqos::endpoint::Sender) and records flow completion times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/stats.h"
+#include "endpoint/receiver.h"
+#include "endpoint/sender.h"
+#include "endpoint/session.h"
+
+namespace jqos::transport {
+
+struct TcpParams {
+  std::size_t mss = 1400;
+  std::size_t init_cwnd = 10;        // Segments.
+  std::size_t init_ssthresh = 64;    // Segments.
+  SimDuration initial_rto = sec(1);  // RFC 6298 pre-measurement RTO.
+  SimDuration min_rto = msec(200);
+  SimDuration max_rto = sec(16);
+  int dupack_threshold = 3;
+  int max_handshake_retries = 7;
+};
+
+// TCP segment header carried inside the J-QoS packet payload.
+struct TcpSegment {
+  std::uint32_t conn_id = 0;
+  enum Flags : std::uint8_t {
+    kSyn = 1 << 0,
+    kAck = 1 << 1,
+    kReq = 1 << 2,   // The client's application request.
+    kData = 1 << 3,
+    kFin = 1 << 4,
+  };
+  std::uint8_t flags = 0;
+  std::uint32_t seq = 0;            // Segment index within the response.
+  std::uint32_t ack = 0;            // Cumulative: next segment needed.
+  std::uint32_t total_segments = 0; // Set by the server on data/SYN-ACK.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sacks;  // [lo, hi)
+
+  std::vector<std::uint8_t> serialize(std::size_t pad_to = 0) const;
+  static std::optional<TcpSegment> parse(std::span<const std::uint8_t> data);
+};
+
+struct TcpServerStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t synack_sent = 0;
+  std::uint64_t synack_retransmits = 0;
+};
+
+class TcpWorkload {
+ public:
+  // `session_template` supplies the J-QoS service configuration each
+  // transfer's flow is registered with (force_service = std::nullopt plus
+  // dc1 == kInvalidNode yields plain TCP with no J-QoS involvement).
+  TcpWorkload(netsim::Network& net, endpoint::Sender& server, endpoint::Receiver& client,
+              endpoint::SessionManager& sessions, endpoint::RegisterRequest session_template,
+              const TcpParams& params);
+
+  // Runs `n` sequential transfers of `response_bytes` each; `request_bytes`
+  // models the tiny upstream request (12 B in the paper).
+  void run(std::size_t n, std::size_t response_bytes, std::size_t request_bytes = 12,
+           std::function<void()> on_all_done = {});
+
+  const Samples& fct_ms() const { return fct_ms_; }
+  const TcpServerStats& server_stats() const { return server_stats_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::size_t completed() const { return completed_; }
+
+ private:
+  // ---- client side ----
+  void start_next_transfer();
+  void client_send_syn();
+  void client_send_request();
+  void client_send_ack();
+  void client_on_segment(const TcpSegment& seg, bool via_recovery);
+  void client_handshake_timer_fired(std::uint64_t gen);
+
+  // ---- server side ----
+  void server_on_packet(const PacketPtr& pkt);
+  void server_send_synack();
+  void server_begin_response();
+  void server_send_window();
+  void server_send_segment(std::uint32_t seq, bool retransmit);
+  void server_on_ack(const TcpSegment& seg);
+  void server_arm_rto();
+  void server_rto_fired(std::uint64_t gen);
+  void server_update_rtt(SimDuration sample);
+
+  void transfer_complete();
+
+  netsim::Network& net_;
+  endpoint::Sender& server_;
+  endpoint::Receiver& client_;
+  endpoint::SessionManager& sessions_;
+  endpoint::RegisterRequest session_template_;
+  TcpParams params_;
+
+  // Workload progress.
+  std::size_t remaining_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t response_bytes_ = 0;
+  std::size_t request_bytes_ = 12;
+  std::function<void()> on_all_done_;
+  Samples fct_ms_;
+
+  // Per-transfer state (one active transfer at a time).
+  std::uint32_t conn_id_ = 0;
+  FlowId flow_ = 0;
+  SimTime transfer_started_ = 0;
+  bool transfer_done_ = true;
+
+  // Client.
+  bool syn_acked_ = false;
+  int client_retries_ = 0;
+  std::uint64_t client_timer_gen_ = 0;
+  std::uint32_t client_total_segments_ = 0;
+  std::uint32_t client_cumulative_ = 0;  // Next segment needed.
+  std::set<std::uint32_t> client_received_;
+  std::uint64_t acks_sent_ = 0;
+
+  // Server.
+  bool server_conn_open_ = false;
+  bool server_sending_ = false;
+  std::uint32_t total_segments_ = 0;
+  std::uint32_t next_to_send_ = 0;
+  std::uint32_t highest_acked_ = 0;  // Cumulative from client.
+  std::set<std::uint32_t> sacked_;
+  double cwnd_ = 10.0;
+  double ssthresh_ = 64.0;
+  int dup_acks_ = 0;
+  SimDuration rto_ = sec(1);
+  bool rtt_measured_ = false;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  std::uint64_t server_timer_gen_ = 0;
+  int synack_retries_ = 0;
+  std::map<std::uint32_t, SimTime> send_times_;     // First-transmission times.
+  std::map<std::uint32_t, SimTime> retransmitted_;  // Last retransmit time.
+
+  TcpServerStats server_stats_;
+};
+
+}  // namespace jqos::transport

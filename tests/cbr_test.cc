@@ -1,0 +1,162 @@
+// Tests for the ON/OFF CBR probe application, including the synchronized
+// schedule mode the deployment uses.
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "transport/cbr_app.h"
+
+namespace jqos::transport {
+namespace {
+
+struct Sink final : netsim::Node {
+  explicit Sink(netsim::Network& net) : id_(net.allocate_id()) { net.attach(*this); }
+  NodeId id() const override { return id_; }
+  void handle_packet(const PacketPtr& pkt) override { arrivals.push_back(pkt->sent_at); }
+  NodeId id_;
+  std::vector<SimTime> arrivals;
+};
+
+struct Fixture {
+  netsim::Simulator sim;
+  netsim::Network net{sim};
+  Sink receiver{net};
+  endpoint::Sender sender{net};
+
+  Fixture() {
+    net.add_link(sender.id(), receiver.id(), netsim::make_fixed_latency(0),
+                 netsim::make_no_loss());
+    endpoint::SenderPolicy policy;
+    policy.duplicate_to_cloud = false;
+    policy.receiver = receiver.id();
+    sender.register_flow(1, policy);
+  }
+};
+
+TEST(CbrApp, PacketRateWithinOnInterval) {
+  Fixture f;
+  CbrParams params;
+  params.on_duration = sec(10);
+  params.mean_off = minutes(60);  // Effectively a single ON interval.
+  params.packets_per_second = 25.0;
+  CbrApp app(f.sim, f.sender, 1, params, Rng(1));
+  app.start(sec(10));
+  f.sim.run_until(sec(11));
+  EXPECT_NEAR(static_cast<double>(app.stats().packets_sent), 250.0, 3.0);
+  EXPECT_EQ(app.stats().on_intervals, 1u);
+  // Inter-arrival spacing is constant (40 ms).
+  for (std::size_t i = 1; i < f.receiver.arrivals.size(); ++i) {
+    EXPECT_EQ(f.receiver.arrivals[i] - f.receiver.arrivals[i - 1], msec(40));
+  }
+}
+
+TEST(CbrApp, OnOffAlternation) {
+  Fixture f;
+  CbrParams params;
+  params.on_duration = sec(5);
+  params.mean_off = sec(5);
+  params.packets_per_second = 10.0;
+  CbrApp app(f.sim, f.sender, 1, params, Rng(2));
+  app.start(minutes(5));
+  f.sim.run_until(minutes(5) + sec(10));
+  // ~30 cycles of mean 10 s each in 300 s; allow broad slack (Poisson OFF).
+  EXPECT_GT(app.stats().on_intervals, 10u);
+  EXPECT_LT(app.stats().on_intervals, 60u);
+  // Duty cycle ~50% => ~1500 packets +/- slack.
+  EXPECT_GT(app.stats().packets_sent, 800u);
+  EXPECT_LT(app.stats().packets_sent, 2300u);
+}
+
+TEST(CbrApp, MakeScheduleCoversSpan) {
+  CbrParams params;
+  params.on_duration = minutes(2);
+  params.mean_off = minutes(3);
+  Rng rng(3);
+  const auto schedule = CbrApp::make_schedule(0, minutes(40), params, rng);
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_EQ(schedule.front(), 0);
+  EXPECT_LT(schedule.back(), minutes(40));
+  // Starts are strictly increasing and separated by at least on_duration.
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i] - schedule[i - 1], params.on_duration);
+  }
+  // Mean cycle ~5 min => ~8 intervals in 40 min.
+  EXPECT_GT(schedule.size(), 4u);
+  EXPECT_LT(schedule.size(), 16u);
+}
+
+TEST(CbrApp, ScheduledModeFollowsAnnouncedStarts) {
+  Fixture f;
+  CbrParams params;
+  params.on_duration = sec(2);
+  params.packets_per_second = 10.0;
+  params.initial_skew = msec(100);
+  CbrApp app(f.sim, f.sender, 1, params, Rng(4));
+  app.start_with_schedule({sec(1), sec(10), sec(20)}, sec(30));
+  f.sim.run_until(sec(31));
+  EXPECT_EQ(app.stats().on_intervals, 3u);
+  // 3 intervals x 2 s x 10 pps.
+  EXPECT_NEAR(static_cast<double>(app.stats().packets_sent), 60.0, 4.0);
+  // First packet at schedule start + skew.
+  ASSERT_FALSE(f.receiver.arrivals.empty());
+  EXPECT_EQ(f.receiver.arrivals.front(), sec(1) + msec(100));
+  // Nothing sent during the announced OFF span.
+  for (SimTime t : f.receiver.arrivals) {
+    const bool in_1 = t >= sec(1) && t <= sec(3) + msec(200);
+    const bool in_2 = t >= sec(10) && t <= sec(12) + msec(200);
+    const bool in_3 = t >= sec(20) && t <= sec(22) + msec(200);
+    EXPECT_TRUE(in_1 || in_2 || in_3) << "packet at " << format_duration(t);
+  }
+}
+
+TEST(CbrApp, SynchronizedAppsOverlap) {
+  // Two apps sharing a schedule must be ON together (the property the
+  // encoder's cross-stream batches rely on).
+  netsim::Simulator sim;
+  netsim::Network net(sim);
+  Sink r1(net), r2(net);
+  endpoint::Sender sender(net);
+  net.add_link(sender.id(), r1.id(), netsim::make_fixed_latency(0), netsim::make_no_loss());
+  net.add_link(sender.id(), r2.id(), netsim::make_fixed_latency(0), netsim::make_no_loss());
+  endpoint::SenderPolicy p1, p2;
+  p1.duplicate_to_cloud = p2.duplicate_to_cloud = false;
+  p1.receiver = r1.id();
+  p2.receiver = r2.id();
+  sender.register_flow(1, p1);
+  sender.register_flow(2, p2);
+
+  CbrParams params;
+  params.on_duration = sec(3);
+  params.packets_per_second = 20.0;
+  CbrParams skewed = params;
+  skewed.initial_skew = msec(200);
+  CbrApp a(sim, sender, 1, params, Rng(5));
+  CbrApp b(sim, sender, 2, skewed, Rng(6));
+  const std::vector<SimTime> schedule = {sec(1), sec(30)};
+  a.start_with_schedule(schedule, sec(40));
+  b.start_with_schedule(schedule, sec(40));
+  sim.run_until(sec(41));
+
+  // Every packet of app B lands within app A's ON spans (plus skew).
+  for (SimTime t : r2.arrivals) {
+    const bool overlap_1 = t >= sec(1) && t <= sec(4) + msec(400);
+    const bool overlap_2 = t >= sec(30) && t <= sec(33) + msec(400);
+    EXPECT_TRUE(overlap_1 || overlap_2);
+  }
+  EXPECT_NEAR(static_cast<double>(r1.arrivals.size()),
+              static_cast<double>(r2.arrivals.size()), 4.0);
+}
+
+TEST(CbrApp, StopsAtUntil) {
+  Fixture f;
+  CbrParams params;
+  params.on_duration = minutes(10);
+  params.packets_per_second = 10.0;
+  CbrApp app(f.sim, f.sender, 1, params, Rng(7));
+  app.start(sec(5));  // Until cuts the ON interval short.
+  f.sim.run();
+  EXPECT_LE(app.stats().packets_sent, 51u);
+  EXPECT_TRUE(f.sim.idle());
+}
+
+}  // namespace
+}  // namespace jqos::transport

@@ -1,0 +1,330 @@
+// Unit tests for the common substrate: wire format, packet serialization,
+// NACK payloads, statistics, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/packet.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/wire.h"
+
+namespace jqos {
+namespace {
+
+// ------------------------------- wire -------------------------------------
+
+TEST(Wire, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[3], 0x04);
+}
+
+TEST(Wire, VarBytesRoundTrip) {
+  ByteWriter w;
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  w.var_bytes(payload);
+  w.str("hello");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.var_bytes(), payload);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Wire, UnderflowSetsErrorInsteadOfThrowing) {
+  std::vector<std::uint8_t> short_buf = {1, 2};
+  ByteReader r(short_buf);
+  (void)r.u32();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // Still safe to call.
+}
+
+TEST(Wire, CorruptLengthPrefixRejected) {
+  ByteWriter w;
+  w.u32(0xffffffff);  // Length prefix far beyond the buffer.
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.var_bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+// ------------------------------ packet ------------------------------------
+
+TEST(Packet, SerializeParseRoundTrip) {
+  Packet p;
+  p.type = PacketType::kCrossCoded;
+  p.service = ServiceType::kCode;
+  p.flow = 7;
+  p.seq = 1234;
+  p.src = 2;
+  p.dst = 3;
+  p.final_dst = 9;
+  p.sent_at = 987654321;
+  CodedMeta m;
+  m.batch_id = 55;
+  m.index = 6;
+  m.k = 6;
+  m.r = 2;
+  m.covered = {{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}, {6, 60}};
+  p.meta = m;
+  p.payload = {9, 8, 7};
+
+  auto bytes = p.serialize();
+  EXPECT_EQ(bytes.size(), p.wire_size());
+  auto parsed = Packet::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, p.type);
+  EXPECT_EQ(parsed->service, p.service);
+  EXPECT_EQ(parsed->flow, p.flow);
+  EXPECT_EQ(parsed->seq, p.seq);
+  EXPECT_EQ(parsed->src, p.src);
+  EXPECT_EQ(parsed->dst, p.dst);
+  EXPECT_EQ(parsed->final_dst, p.final_dst);
+  EXPECT_EQ(parsed->sent_at, p.sent_at);
+  ASSERT_TRUE(parsed->meta.has_value());
+  EXPECT_EQ(*parsed->meta, m);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Packet, ParseRejectsBadVersionAndType) {
+  Packet p;
+  auto bytes = p.serialize();
+  auto bad_version = bytes;
+  bad_version[0] = 99;
+  EXPECT_FALSE(Packet::parse(bad_version).has_value());
+  auto bad_type = bytes;
+  bad_type[1] = 200;
+  EXPECT_FALSE(Packet::parse(bad_type).has_value());
+}
+
+TEST(Packet, ParseRejectsTruncated) {
+  Packet p;
+  p.payload = {1, 2, 3, 4};
+  auto bytes = p.serialize();
+  bytes.resize(bytes.size() - 2);
+  EXPECT_FALSE(Packet::parse(bytes).has_value());
+}
+
+TEST(Packet, WireSizeChargesMetaAndPayload) {
+  Packet bare;
+  const std::size_t base = bare.wire_size();
+  EXPECT_EQ(base, packet_header_bytes());
+  Packet loaded;
+  loaded.payload.assign(100, 0);
+  EXPECT_EQ(loaded.wire_size(), base + 100);
+  CodedMeta m;
+  m.covered = {{1, 1}, {2, 2}};
+  loaded.meta = m;
+  EXPECT_GT(loaded.wire_size(), base + 100);
+}
+
+TEST(Packet, NackInfoRoundTrip) {
+  NackInfo n;
+  n.tail = true;
+  n.expected = 17;
+  n.missing = {17, 19, 23};
+  auto parsed = NackInfo::parse(n.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, n);
+}
+
+TEST(Packet, NackInfoRejectsBogusCount) {
+  ByteWriter w;
+  w.u8(0);
+  w.u32(0);
+  w.u32(1000000);  // Claims a million seqs with no bytes behind it.
+  EXPECT_FALSE(NackInfo::parse(w.data()).has_value());
+}
+
+TEST(Packet, FactoriesPopulateFields) {
+  auto p = make_data_packet(3, 4, 1, 2, 1000, 64);
+  EXPECT_EQ(p->type, PacketType::kData);
+  EXPECT_EQ(p->flow, 3u);
+  EXPECT_EQ(p->seq, 4u);
+  EXPECT_EQ(p->payload.size(), 64u);
+  EXPECT_EQ(p->key(), (PacketKey{3, 4}));
+}
+
+// ------------------------------- stats ------------------------------------
+
+TEST(Stats, OnlineStatsMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, OnlineStatsMergeMatchesSequential) {
+  OnlineStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 0.1);
+}
+
+TEST(Stats, CdfAt) {
+  Samples s;
+  for (int i = 0; i < 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.cdf_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.ccdf_at(4.0), 0.5);
+}
+
+TEST(Stats, CdfPointsMonotone) {
+  Samples s;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) s.add(rng.lognormal(0.0, 1.0));
+  auto pts = s.cdf_points(25);
+  ASSERT_EQ(pts.size(), 26u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].value, pts[i - 1].value);
+    EXPECT_GE(pts[i].fraction, pts[i - 1].fraction);
+  }
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);   // Clamps into bin 0.
+  h.add(0.5);
+  h.add(9.5);
+  h.add(15.0);   // Clamps into the last bin.
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(9), 1.0);
+}
+
+TEST(Stats, HistogramRejectsDegenerate) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// -------------------------------- rng -------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(9);
+  Rng c1 = parent.fork("loss");
+  Rng c2 = parent.fork("loss");
+  Rng c3 = parent.fork("jitter");
+  // Successive forks and distinct labels must differ.
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+  EXPECT_NE(c1.next_u64(), c3.next_u64());
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / 50000.0, 10.0, 0.3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(9);
+  OnlineStats small, large;
+  for (int i = 0; i < 20000; ++i) small.add(rng.poisson(3.0));
+  for (int i = 0; i < 20000; ++i) large.add(rng.poisson(100.0));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 100.0, 1.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+// ------------------------------ logging -----------------------------------
+
+TEST(Logging, ThresholdGates) {
+  const LogLevel before = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_threshold(LogLevel::kTrace);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+  set_log_threshold(before);
+}
+
+TEST(Logging, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500us");
+  EXPECT_EQ(format_duration(msec(12)), "12ms");
+  EXPECT_EQ(format_duration(sec(3)), "3s");
+}
+
+}  // namespace
+}  // namespace jqos

@@ -1,0 +1,364 @@
+// Tests for the erasure-coding substrate: GF(256) field axioms, matrix
+// inversion, Reed-Solomon any-k-of-n recovery (parameterized sweeps), and
+// the packet-batch framing used by CR-WAN.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "fec/coded_batch.h"
+#include "fec/gf256.h"
+#include "fec/matrix.h"
+#include "fec/reed_solomon.h"
+
+namespace jqos::fec {
+namespace {
+
+// ------------------------------- GF(256) ----------------------------------
+
+// Schoolbook carry-less multiply mod 0x11d for cross-checking the tables.
+Gf slow_mul(Gf a, Gf b) {
+  unsigned r = 0;
+  unsigned aa = a;
+  for (unsigned bb = b; bb != 0; bb >>= 1) {
+    if (bb & 1) r ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= 0x11d;
+  }
+  return static_cast<Gf>(r);
+}
+
+TEST(Gf256, MatchesSchoolbookMultiplication) {
+  for (unsigned a = 0; a < 256; a += 7) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(gf_mul(static_cast<Gf>(a), static_cast<Gf>(b)),
+                slow_mul(static_cast<Gf>(a), static_cast<Gf>(b)));
+    }
+  }
+}
+
+TEST(Gf256, FieldAxioms) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Gf a = static_cast<Gf>(rng.uniform_int(0, 255));
+    const Gf b = static_cast<Gf>(rng.uniform_int(0, 255));
+    const Gf c = static_cast<Gf>(rng.uniform_int(0, 255));
+    EXPECT_EQ(gf_mul(a, b), gf_mul(b, a));
+    EXPECT_EQ(gf_mul(a, gf_mul(b, c)), gf_mul(gf_mul(a, b), c));
+    // Distributivity over XOR-addition.
+    EXPECT_EQ(gf_mul(a, gf_add(b, c)), gf_add(gf_mul(a, b), gf_mul(a, c)));
+    EXPECT_EQ(gf_mul(a, 1), a);
+    EXPECT_EQ(gf_mul(a, 0), 0);
+  }
+}
+
+TEST(Gf256, InverseAndDivision) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const Gf inv = gf_inv(static_cast<Gf>(a));
+    EXPECT_EQ(gf_mul(static_cast<Gf>(a), inv), 1);
+    EXPECT_EQ(gf_div(static_cast<Gf>(a), static_cast<Gf>(a)), 1);
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (unsigned a : {2u, 3u, 29u, 255u}) {
+    Gf acc = 1;
+    for (unsigned e = 0; e < 20; ++e) {
+      EXPECT_EQ(gf_pow(static_cast<Gf>(a), e), acc);
+      acc = gf_mul(acc, static_cast<Gf>(a));
+    }
+  }
+}
+
+TEST(Gf256, AddmulKernel) {
+  std::vector<std::uint8_t> dst(64, 0), src(64);
+  std::iota(src.begin(), src.end(), 1);
+  gf_addmul(dst.data(), src.data(), 3, src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(dst[i], gf_mul(src[i], 3));
+  // Accumulating the same contribution cancels (characteristic 2).
+  gf_addmul(dst.data(), src.data(), 3, src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(dst[i], 0);
+}
+
+// -------------------------------- matrix ----------------------------------
+
+TEST(Matrix, IdentityInvertsToItself) {
+  const Matrix id = Matrix::identity(8);
+  auto inv = id.inverted();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, id);
+}
+
+TEST(Matrix, InverseIsTwoSided) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix m(6, 6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        m.at(i, j) = static_cast<Gf>(rng.uniform_int(0, 255));
+      }
+    }
+    auto inv = m.inverted();
+    if (!inv) continue;  // Random singular matrices are skipped.
+    EXPECT_EQ(m.mul(*inv), Matrix::identity(6));
+    EXPECT_EQ(inv->mul(m), Matrix::identity(6));
+  }
+}
+
+TEST(Matrix, SingularDetected) {
+  Matrix m(3, 3);  // All zeros.
+  EXPECT_FALSE(m.inverted().has_value());
+  // Duplicate rows.
+  Matrix d(2, 2);
+  d.at(0, 0) = 5;
+  d.at(0, 1) = 7;
+  d.at(1, 0) = 5;
+  d.at(1, 1) = 7;
+  EXPECT_FALSE(d.inverted().has_value());
+}
+
+TEST(Matrix, VandermondeSubmatricesInvertible) {
+  const Matrix v = Matrix::vandermonde(12, 5);
+  // Any 5 distinct rows must be invertible -- the erasure-code property.
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> rows(12);
+    std::iota(rows.begin(), rows.end(), 0);
+    for (std::size_t i = 0; i < 5; ++i) {
+      std::swap(rows[i], rows[static_cast<std::size_t>(rng.uniform_int(
+                             static_cast<std::int64_t>(i), 11))]);
+    }
+    rows.resize(5);
+    EXPECT_TRUE(v.select_rows(rows).inverted().has_value());
+  }
+}
+
+// ---------------------------- Reed-Solomon --------------------------------
+
+struct RsParam {
+  std::size_t k;
+  std::size_t r;
+};
+
+class ReedSolomonSweep : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(ReedSolomonSweep, AnyKofNRecovers) {
+  const auto [k, r] = GetParam();
+  const std::size_t len = 64;
+  Rng rng(1000 + k * 17 + r);
+
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(len));
+  for (auto& shard : data) {
+    for (auto& byte : shard) byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  std::vector<std::span<const std::uint8_t>> spans(data.begin(), data.end());
+
+  const ReedSolomon rs(k, r);
+  auto parity = rs.encode(spans);
+  ASSERT_EQ(parity.size(), r);
+
+  // All shards in codeword order.
+  std::vector<std::vector<std::uint8_t>> all = data;
+  for (auto& p : parity) all.push_back(p);
+
+  // Try multiple random subsets of exactly k shards.
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<std::size_t> idx(k + r);
+    std::iota(idx.begin(), idx.end(), 0);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      std::swap(idx[i], idx[static_cast<std::size_t>(rng.uniform_int(
+                            static_cast<std::int64_t>(i),
+                            static_cast<std::int64_t>(idx.size()) - 1))]);
+    }
+    idx.resize(k);
+    std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> input;
+    for (std::size_t i : idx) input.emplace_back(i, std::span<const std::uint8_t>(all[i]));
+    auto decoded = rs.decode(input);
+    ASSERT_TRUE(decoded.has_value());
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ((*decoded)[i], data[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KRSweep, ReedSolomonSweep,
+    ::testing::Values(RsParam{1, 1}, RsParam{2, 1}, RsParam{4, 2}, RsParam{5, 1},
+                      RsParam{6, 2}, RsParam{8, 3}, RsParam{10, 2}, RsParam{16, 4},
+                      RsParam{20, 2}, RsParam{32, 8}, RsParam{50, 5}));
+
+TEST(ReedSolomon, SystematicParityIndependentOfDataCopy) {
+  // The top k rows of the encode matrix must be identity (systematic code).
+  const ReedSolomon rs(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto row = rs.encode_row(i);
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(row[j], i == j ? 1 : 0);
+  }
+}
+
+TEST(ReedSolomon, FewerThanKShardsFails) {
+  const ReedSolomon rs(4, 2);
+  std::vector<std::uint8_t> shard(16, 1);
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> input = {
+      {0, shard}, {1, shard}, {2, shard}};
+  EXPECT_FALSE(rs.decode(input).has_value());
+}
+
+TEST(ReedSolomon, RejectsInvalidConstruction) {
+  EXPECT_THROW(ReedSolomon(0, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+}
+
+TEST(ReedSolomon, RejectsMalformedDecodeInput) {
+  const ReedSolomon rs(2, 2);
+  std::vector<std::uint8_t> shard(8, 1);
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> dup = {{0, shard},
+                                                                            {0, shard}};
+  EXPECT_THROW(rs.decode(dup), std::invalid_argument);
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> oob = {{0, shard},
+                                                                            {9, shard}};
+  EXPECT_THROW(rs.decode(oob), std::out_of_range);
+}
+
+TEST(ReedSolomon, EncodeIntoMatchesEncode) {
+  const ReedSolomon rs(4, 2);
+  const std::size_t len = 32;
+  Rng rng(77);
+  std::vector<std::vector<std::uint8_t>> data(4, std::vector<std::uint8_t>(len));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  std::vector<std::span<const std::uint8_t>> spans(data.begin(), data.end());
+  auto expected = rs.encode(spans);
+
+  std::vector<std::vector<std::uint8_t>> parity(2, std::vector<std::uint8_t>(len));
+  std::vector<const std::uint8_t*> dp;
+  std::vector<std::uint8_t*> pp;
+  for (auto& s : data) dp.push_back(s.data());
+  for (auto& s : parity) pp.push_back(s.data());
+  rs.encode_into(dp.data(), len, pp.data());
+  EXPECT_EQ(parity, expected);
+}
+
+// ----------------------------- coded batch --------------------------------
+
+std::vector<PacketPtr> make_batch(std::size_t k, std::size_t base_size, Rng& rng) {
+  std::vector<PacketPtr> pkts;
+  for (std::size_t i = 0; i < k; ++i) {
+    auto p = std::make_shared<Packet>();
+    p->flow = static_cast<FlowId>(i + 1);
+    p->seq = static_cast<SeqNo>(100 + i);
+    // Different sizes per packet: the batch must pad correctly.
+    p->payload.resize(base_size + i * 13);
+    for (auto& b : p->payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    pkts.push_back(std::move(p));
+  }
+  return pkts;
+}
+
+TEST(CodedBatch, EncodeProducesMetadata) {
+  Rng rng(4);
+  auto pkts = make_batch(6, 50, rng);
+  auto coded = encode_batch(pkts, 2, PacketType::kCrossCoded, 42, 1, 2, 1000);
+  ASSERT_EQ(coded.size(), 2u);
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    ASSERT_TRUE(coded[i]->meta.has_value());
+    EXPECT_EQ(coded[i]->meta->batch_id, 42u);
+    EXPECT_EQ(coded[i]->meta->k, 6);
+    EXPECT_EQ(coded[i]->meta->r, 2);
+    EXPECT_EQ(coded[i]->meta->index, 6 + i);
+    EXPECT_EQ(coded[i]->meta->covered.size(), 6u);
+    EXPECT_EQ(coded[i]->type, PacketType::kCrossCoded);
+  }
+}
+
+TEST(CodedBatch, RecoverSingleMissing) {
+  Rng rng(5);
+  auto pkts = make_batch(6, 40, rng);
+  auto coded = encode_batch(pkts, 2, PacketType::kCrossCoded, 1, 1, 2, 0);
+  const CodedMeta& meta = *coded[0]->meta;
+
+  // Position 3 is missing; all other data packets present.
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> present;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (i == 3) continue;
+    present.emplace_back(i, std::span<const std::uint8_t>(pkts[i]->payload));
+  }
+  auto rec = decode_batch(meta, present, std::vector<PacketPtr>{coded[0]});
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_EQ(rec->size(), 1u);
+  EXPECT_EQ((*rec)[0].position, 3u);
+  EXPECT_EQ((*rec)[0].key, pkts[3]->key());
+  EXPECT_EQ((*rec)[0].payload, pkts[3]->payload);
+}
+
+TEST(CodedBatch, RecoverTwoMissingNeedsBothCodedPackets) {
+  Rng rng(6);
+  auto pkts = make_batch(5, 30, rng);
+  auto coded = encode_batch(pkts, 2, PacketType::kCrossCoded, 2, 1, 2, 0);
+  const CodedMeta& meta = *coded[0]->meta;
+
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> present;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (i == 1 || i == 4) continue;
+    present.emplace_back(i, std::span<const std::uint8_t>(pkts[i]->payload));
+  }
+  // One coded packet is not enough for two losses.
+  EXPECT_FALSE(
+      decode_batch(meta, present, std::vector<PacketPtr>{coded[0]}).has_value());
+  // Both coded packets recover both losses, exactly.
+  auto rec = decode_batch(meta, present, coded);
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_EQ(rec->size(), 2u);
+  EXPECT_EQ((*rec)[0].payload, pkts[1]->payload);
+  EXPECT_EQ((*rec)[1].payload, pkts[4]->payload);
+}
+
+TEST(CodedBatch, StragglerTolerance) {
+  // k=6 with r=2: recovery of one loss succeeds with one peer missing
+  // (straggler) because the second coded packet replaces it.
+  Rng rng(7);
+  auto pkts = make_batch(6, 20, rng);
+  auto coded = encode_batch(pkts, 2, PacketType::kCrossCoded, 3, 1, 2, 0);
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> present;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (i == 0 || i == 5) continue;  // 0 lost; 5 is a straggler.
+    present.emplace_back(i, std::span<const std::uint8_t>(pkts[i]->payload));
+  }
+  auto rec = decode_batch(*coded[0]->meta, present, coded);
+  ASSERT_TRUE(rec.has_value());
+  // Both absent positions are reconstructed; the requester cares about 0.
+  ASSERT_EQ(rec->size(), 2u);
+  EXPECT_EQ((*rec)[0].key, pkts[0]->key());
+  EXPECT_EQ((*rec)[0].payload, pkts[0]->payload);
+}
+
+TEST(CodedBatch, SinglePacketBatchActsAsDuplication) {
+  Rng rng(8);
+  auto pkts = make_batch(1, 25, rng);
+  auto coded = encode_batch(pkts, 1, PacketType::kInCoded, 9, 1, 2, 0);
+  auto rec = decode_batch(*coded[0]->meta, {}, coded);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ((*rec)[0].payload, pkts[0]->payload);
+}
+
+TEST(CodedBatch, DuplicateCodedPacketsIgnored) {
+  Rng rng(9);
+  auto pkts = make_batch(4, 30, rng);
+  auto coded = encode_batch(pkts, 1, PacketType::kCrossCoded, 10, 1, 2, 0);
+  std::vector<PacketPtr> dup = {coded[0], coded[0], coded[0]};
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> present;
+  present.emplace_back(0, std::span<const std::uint8_t>(pkts[0]->payload));
+  present.emplace_back(1, std::span<const std::uint8_t>(pkts[1]->payload));
+  // Two missing, one distinct coded symbol: must fail, not crash.
+  EXPECT_FALSE(decode_batch(*coded[0]->meta, present, dup).has_value());
+}
+
+TEST(CodedBatch, RejectsOversizedBatch) {
+  Rng rng(10);
+  auto pkts = make_batch(254, 4, rng);
+  EXPECT_THROW(encode_batch(pkts, 2, PacketType::kCrossCoded, 1, 1, 2, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jqos::fec

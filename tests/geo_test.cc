@@ -1,0 +1,174 @@
+// Tests for the geographic substrate: distance math, the cloud-site
+// catalog, host synthesis, and the path dataset's calibration against the
+// distributions the paper reports.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "geo/coords.h"
+#include "geo/host_synth.h"
+#include "geo/path_dataset.h"
+#include "geo/regions.h"
+
+namespace jqos::geo {
+namespace {
+
+TEST(Coords, HaversineKnownDistances) {
+  const GeoPoint boston{42.36, -71.06};
+  const GeoPoint london{51.51, -0.13};
+  const GeoPoint paris{48.86, 2.35};
+  // Boston <-> London is ~5,270 km; London <-> Paris ~340 km.
+  EXPECT_NEAR(haversine_km(boston, london), 5270.0, 100.0);
+  EXPECT_NEAR(haversine_km(london, paris), 340.0, 25.0);
+  EXPECT_DOUBLE_EQ(haversine_km(boston, boston), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(haversine_km(boston, london), haversine_km(london, boston));
+}
+
+TEST(Coords, PropagationDelayScale) {
+  // 200 km of fiber at inflation 1.0 is ~1 ms one way.
+  EXPECT_NEAR(propagation_ms(200.0, 1.0), 1.0, 1e-9);
+  // Boston -> London direct Internet: ~5270 km * 1.9 / 200 ~ 50 ms one way,
+  // i.e. the familiar ~100 ms transatlantic RTT.
+  const double one_way = propagation_ms(5270.0, kInternetInflation);
+  EXPECT_NEAR(2.0 * one_way, 100.0, 15.0);
+}
+
+TEST(Regions, CatalogYearsFilter) {
+  const auto all = cloud_sites();
+  ASSERT_GT(all.size(), 10u);
+  const auto y2007 = cloud_sites_as_of(2007);
+  const auto y2014 = cloud_sites_as_of(2014);
+  const auto y2019 = cloud_sites_as_of(2019);
+  EXPECT_LT(y2007.size(), y2014.size());
+  EXPECT_LT(y2014.size(), y2019.size());
+  // The Fig. 7(d) milestones exist with the right years.
+  auto has = [](const std::vector<CloudSite>& sites, const std::string& name) {
+    for (const auto& s : sites) {
+      if (s.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(y2007, "eu-west-ireland"));
+  EXPECT_FALSE(has(y2007, "eu-central-frankfurt"));
+  EXPECT_TRUE(has(y2014, "eu-central-frankfurt"));
+  EXPECT_FALSE(has(y2014, "eu-north-stockholm"));
+  EXPECT_TRUE(has(y2019, "eu-north-stockholm"));
+}
+
+TEST(Regions, NearestSiteForStockholmChangesWithYear) {
+  const GeoPoint stockholm{59.33, 18.07};
+  EXPECT_EQ(nearest_site(cloud_sites_as_of(2007), stockholm).name, "eu-west-ireland");
+  EXPECT_EQ(nearest_site(cloud_sites_as_of(2014), stockholm).name, "eu-central-frankfurt");
+  EXPECT_EQ(nearest_site(cloud_sites_as_of(2019), stockholm).name, "eu-north-stockholm");
+}
+
+TEST(Regions, NearestSiteThrowsOnEmpty) {
+  EXPECT_THROW(nearest_site({}, GeoPoint{0, 0}), std::invalid_argument);
+}
+
+TEST(HostSynth, HostsClusterNearAnchors) {
+  Rng rng(1);
+  auto hosts = synthesize_hosts(WorldRegion::kEurope, 200, rng);
+  ASSERT_EQ(hosts.size(), 200u);
+  const auto& anchors = metro_anchors(WorldRegion::kEurope);
+  for (const auto& h : hosts) {
+    double min_km = 1e9;
+    for (const auto& a : anchors) min_km = std::min(min_km, haversine_km(h.location, a));
+    EXPECT_LT(min_km, 400.0);  // Within the metro scatter.
+    EXPECT_GT(h.last_mile_ms, 0.0);
+  }
+}
+
+TEST(HostSynth, LastMileDistributionReasonable) {
+  Rng rng(2);
+  auto hosts = synthesize_hosts(WorldRegion::kUsEast, 1000, rng);
+  Samples lm;
+  for (const auto& h : hosts) lm.add(h.last_mile_ms);
+  EXPECT_NEAR(lm.median(), 3.0, 1.5);
+  EXPECT_LT(lm.percentile(95), 30.0);
+}
+
+TEST(PathDataset, SegmentsAreConsistent) {
+  Rng rng(3);
+  PathDatasetParams p;
+  p.num_paths = 200;
+  auto paths = synthesize_paths(p, rng);
+  ASSERT_EQ(paths.size(), 200u);
+  for (const auto& path : paths) {
+    EXPECT_GT(path.y_ms, 0.0);
+    EXPECT_GT(path.x_ms, 0.0);
+    EXPECT_GE(path.delta_s_ms, 0.0);
+    EXPECT_GE(path.delta_r_ms, 0.0);
+    // Host->DC delays are small relative to the transatlantic leg.
+    EXPECT_LT(path.delta_s_ms, path.y_ms);
+    EXPECT_LT(path.delta_r_ms, path.y_ms);
+    // DC1 serves the sender region; DC2 the receiver region.
+    EXPECT_EQ(path.dc1.region, WorldRegion::kUsEast);
+  }
+}
+
+TEST(PathDataset, UsEuRttMatchesPaper) {
+  // Section 6.2.2: "low RTT paths between the US and EU (110-130 ms)".
+  Rng rng(4);
+  PathDatasetParams p;
+  p.num_paths = 500;
+  p.bad_path_fraction = 0.0;
+  auto paths = synthesize_paths(p, rng);
+  Samples rtt;
+  for (const auto& path : paths) rtt.add(path.direct_rtt_ms());
+  EXPECT_GT(rtt.median(), 90.0);
+  EXPECT_LT(rtt.median(), 160.0);
+}
+
+TEST(PathDataset, DeltaDistributionMatchesFig7c) {
+  // Fig 7(c): 55% of EU receivers have delta < 10 ms; 15% above 20 ms.
+  Rng rng(5);
+  PathDatasetParams p;
+  p.num_paths = 2000;
+  auto paths = synthesize_paths(p, rng);
+  Samples delta;
+  for (const auto& path : paths) delta.add(path.delta_r_ms);
+  const double under10 = delta.cdf_at(10.0);
+  const double over20 = 1.0 - delta.cdf_at(20.0);
+  EXPECT_GT(under10, 0.35);
+  EXPECT_LT(under10, 0.85);
+  EXPECT_LT(over20, 0.35);
+}
+
+TEST(PathDataset, BadPathsCreateLongTail) {
+  Rng rng(6);
+  PathDatasetParams with_bad;
+  with_bad.num_paths = 1000;
+  with_bad.bad_path_fraction = 0.10;
+  PathDatasetParams without = with_bad;
+  without.bad_path_fraction = 0.0;
+  Rng rng2(6);
+  auto bad_paths = synthesize_paths(with_bad, rng);
+  auto clean_paths = synthesize_paths(without, rng2);
+  Samples bad, clean;
+  for (const auto& p : bad_paths) bad.add(p.y_ms);
+  for (const auto& p : clean_paths) clean.add(p.y_ms);
+  EXPECT_GT(bad.percentile(99), clean.percentile(99) + 20.0);
+}
+
+TEST(PathDataset, PlanetlabPathsSpanRegions) {
+  Rng rng(7);
+  auto paths = planetlab_paths(45, rng);
+  ASSERT_EQ(paths.size(), 45u);
+  std::set<std::string> labels;
+  for (const auto& p : paths) labels.insert(region_pair_label(p));
+  EXPECT_GE(labels.size(), 4u);  // US-EU, US-AS, US-OC, EU-OC, EU-AS, US-US...
+}
+
+TEST(PathDataset, RegionPairLabelCanonical) {
+  Rng rng(8);
+  auto paths = planetlab_paths(12, rng);
+  for (const auto& p : paths) {
+    const std::string label = region_pair_label(p);
+    EXPECT_EQ(label.size(), 5u);
+    EXPECT_EQ(label[2], '-');
+  }
+}
+
+}  // namespace
+}  // namespace jqos::geo

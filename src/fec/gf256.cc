@@ -1,6 +1,7 @@
 #include "fec/gf256.h"
 
 #include <array>
+#include <stdexcept>
 
 namespace jqos::fec {
 namespace {
@@ -49,8 +50,11 @@ const Tables& tables() {
 Gf gf_mul(Gf a, Gf b) { return tables().mul_[a][b]; }
 
 Gf gf_div(Gf a, Gf b) {
-  // b must be non-zero; division by zero is a caller bug surfaced in debug
-  // builds by the log sentinel.
+  // Division by zero is undefined in a field. The previous implementation
+  // fell through to log_[0] = -1 sentinel arithmetic and returned a wrong
+  // non-zero value; fail loudly instead so decoder bugs surface at the
+  // source rather than as corrupted recovered packets.
+  if (b == 0) throw std::domain_error("gf_div: division by zero in GF(256)");
   if (a == 0) return 0;
   const Tables& t = tables();
   int d = t.log_[a] - t.log_[b];
@@ -59,6 +63,7 @@ Gf gf_div(Gf a, Gf b) {
 }
 
 Gf gf_inv(Gf a) {
+  if (a == 0) throw std::domain_error("gf_inv: zero has no inverse in GF(256)");
   const Tables& t = tables();
   return t.exp_[static_cast<std::size_t>(255 - t.log_[a])];
 }

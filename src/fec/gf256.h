@@ -20,8 +20,10 @@ using Gf = std::uint8_t;
 constexpr Gf gf_add(Gf a, Gf b) { return a ^ b; }
 constexpr Gf gf_sub(Gf a, Gf b) { return a ^ b; }
 
-// Multiplication, division (b != 0), inverse (a != 0) and exponentiation via
-// the log/exp tables.
+// Multiplication, division, inverse and exponentiation via the log/exp
+// tables. gf_div throws std::domain_error when b == 0 and gf_inv throws when
+// a == 0: both are undefined in a field, and a silent wrong answer here
+// corrupts every packet decoded through the offending matrix row.
 Gf gf_mul(Gf a, Gf b);
 Gf gf_div(Gf a, Gf b);
 Gf gf_inv(Gf a);

@@ -60,7 +60,10 @@ std::optional<Matrix> Matrix::inverted() const {
   Matrix a = *this;
   Matrix inv = identity(n);
   for (std::size_t col = 0; col < n; ++col) {
-    // Find a pivot (any non-zero entry works in a field).
+    // Find a pivot (any non-zero entry works in a field). If the column has
+    // none the matrix is rank-deficient: report singularity to the caller
+    // instead of continuing with a zero pivot, which would feed 0 to gf_inv
+    // below and propagate garbage through every remaining row operation.
     std::size_t pivot = col;
     while (pivot < n && a.at(pivot, col) == 0) ++pivot;
     if (pivot == n) return std::nullopt;  // singular
@@ -70,7 +73,8 @@ std::optional<Matrix> Matrix::inverted() const {
         std::swap(inv.at(pivot, j), inv.at(col, j));
       }
     }
-    // Scale pivot row to 1.
+    // Scale pivot row to 1. The pivot is non-zero by construction, so
+    // gf_inv cannot throw here.
     const Gf scale = gf_inv(a.at(col, col));
     for (std::size_t j = 0; j < n; ++j) {
       a.at(col, j) = gf_mul(a.at(col, j), scale);

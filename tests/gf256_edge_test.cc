@@ -1,0 +1,130 @@
+// Regression tests for GF(256) edge cases and singular-matrix handling.
+//
+// Background: gf_div(a, 0) used to fall through to the log_[0] = -1 sentinel
+// and return a wrong non-zero value, and gf_inv(0) read one past the defined
+// log range. Both now throw std::domain_error. These tests pin that down and
+// cross-check the full 256x256 multiplication table against the log/exp
+// tables and an independent schoolbook carry-less multiply.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "fec/gf256.h"
+#include "fec/matrix.h"
+
+namespace jqos::fec {
+namespace {
+
+// Independent reference: schoolbook carry-less multiplication modulo the
+// field polynomial 0x11d, sharing no code with the table construction.
+Gf schoolbook_mul(Gf a, Gf b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  for (unsigned bb = b; bb != 0; bb >>= 1) {
+    if (bb & 1) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= 0x11d;
+  }
+  return static_cast<Gf>(acc);
+}
+
+// ---------------------------- division by zero -----------------------------
+
+TEST(Gf256Edge, DivByZeroThrows) {
+  EXPECT_THROW(gf_div(1, 0), std::domain_error);
+  EXPECT_THROW(gf_div(0, 0), std::domain_error);
+  EXPECT_THROW(gf_div(255, 0), std::domain_error);
+}
+
+TEST(Gf256Edge, InvOfZeroThrows) { EXPECT_THROW(gf_inv(0), std::domain_error); }
+
+TEST(Gf256Edge, DivZeroNumeratorIsZero) {
+  for (int b = 1; b < 256; ++b) EXPECT_EQ(gf_div(0, static_cast<Gf>(b)), 0);
+}
+
+TEST(Gf256Edge, DivIsInverseOfMul) {
+  // For every a and non-zero b: (a / b) * b == a. Full sweep is cheap.
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      const Gf q = gf_div(static_cast<Gf>(a), static_cast<Gf>(b));
+      ASSERT_EQ(gf_mul(q, static_cast<Gf>(b)), a) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// ------------------------ full-table cross-checks --------------------------
+
+TEST(Gf256Edge, MulTableMatchesSchoolbookAllPairs) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(gf_mul(static_cast<Gf>(a), static_cast<Gf>(b)),
+                schoolbook_mul(static_cast<Gf>(a), static_cast<Gf>(b)))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Gf256Edge, MulTableMatchesLogExpAllPairs) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      Gf expected = 0;
+      if (a != 0 && b != 0) {
+        const unsigned l = static_cast<unsigned>(gf_log_table(static_cast<Gf>(a)) +
+                                                 gf_log_table(static_cast<Gf>(b)));
+        expected = gf_exp_table(l);  // exp_ is doubled, so no mod-255 needed
+      }
+      ASSERT_EQ(gf_mul(static_cast<Gf>(a), static_cast<Gf>(b)), expected)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// ------------------------- singular-matrix handling ------------------------
+
+TEST(Gf256Edge, ZeroMatrixInversionFails) {
+  for (std::size_t n : {1u, 2u, 5u}) {
+    Matrix z(n, n);
+    EXPECT_FALSE(z.inverted().has_value()) << "n=" << n;
+  }
+}
+
+TEST(Gf256Edge, DuplicateRowMatrixInversionFails) {
+  Matrix m(3, 3);
+  const Gf row[3] = {7, 11, 13};
+  for (std::size_t j = 0; j < 3; ++j) {
+    m.at(0, j) = row[j];
+    m.at(1, j) = row[j];  // identical to row 0 -> rank <= 2
+    m.at(2, j) = static_cast<Gf>(j + 1);
+  }
+  EXPECT_FALSE(m.inverted().has_value());
+}
+
+TEST(Gf256Edge, LinearlyDependentRowInversionFails) {
+  // Row 2 = 3 * row 0 + row 1 over GF(256); dependence only becomes visible
+  // after elimination, exercising the mid-elimination singularity path.
+  Matrix m(3, 3);
+  const Gf r0[3] = {1, 2, 3};
+  const Gf r1[3] = {4, 5, 6};
+  for (std::size_t j = 0; j < 3; ++j) {
+    m.at(0, j) = r0[j];
+    m.at(1, j) = r1[j];
+    m.at(2, j) = gf_add(gf_mul(3, r0[j]), r1[j]);
+  }
+  EXPECT_FALSE(m.inverted().has_value());
+}
+
+TEST(Gf256Edge, NonSingularAfterRowSwapInverts) {
+  // Leading zero forces the pivot-search row swap; the matrix is invertible.
+  Matrix m(2, 2);
+  m.at(0, 0) = 0;
+  m.at(0, 1) = 5;
+  m.at(1, 0) = 9;
+  m.at(1, 1) = 2;
+  auto inv = m.inverted();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(m.mul(*inv), Matrix::identity(2));
+}
+
+}  // namespace
+}  // namespace jqos::fec

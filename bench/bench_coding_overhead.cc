@@ -6,8 +6,11 @@
 //
 // We sweep k (streams per batch) at 2 coded packets per batch and report
 // overhead vs recovery, using the full simulated service stack.
+// With --json the sweep rows are emitted as JSON Lines (see bench_json.h)
+// instead of the human table, so CI can diff overhead/recovery across PRs.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
 
@@ -106,13 +109,26 @@ SweepPoint run_point(std::size_t k, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jqos;
-  std::printf("== Section 6.6: coding overhead vs concurrent streams ==\n");
+  const bool json = bench::want_json(argc, argv);
+  if (!json) std::printf("== Section 6.6: coding overhead vs concurrent streams ==\n");
 
   exp::Table t({"k (streams/batch)", "coded rate r", "measured overhead", "recovery %"});
   for (std::size_t k : {4u, 6u, 10u, 20u}) {
     const SweepPoint p = run_point(k, 7000 + k);
+    if (json) {
+      bench::JsonRow("coding_overhead")
+          .add("name", "overhead_sweep")
+          .add("k", p.k)
+          .add("coded_per_batch", std::uint64_t{2})
+          .add("overhead", p.overhead)
+          .add("recovery", p.recovery)
+          .add("coop_ops", p.rec.coop_ops)
+          .add("coop_success", p.rec.coop_success)
+          .emit();
+      continue;
+    }
     t.add_row({std::to_string(p.k), "2/" + std::to_string(p.k),
                exp::Table::num(p.overhead * 100.0, 1) + "%",
                exp::Table::num(p.recovery * 100.0, 1) + "%"});
@@ -123,6 +139,6 @@ int main() {
                            exp::Table::num(p.overhead * 100.0, 1) + "% overhead");
     }
   }
-  t.print("coding overhead sweep (2 cross-stream coded packets per batch)");
+  if (!json) t.print("coding overhead sweep (2 cross-stream coded packets per batch)");
   return 0;
 }

@@ -5,14 +5,25 @@
 // The paper reports ~65 Kpps per thread and linear scaling to ~500 Kpps at
 // 8 threads on their hardware; the property to reproduce is the linear
 // shape (absolute Kpps depends on the machine).
+//
+// Before the thread sweep, a single-threaded per-backend pass forces each
+// available GF(256) kernel backend (scalar / ssse3 / avx2) through the same
+// encode loop and reports MB/s and Kpps per backend, so the SIMD speedup is
+// measured on every run rather than asserted. With --json those rows are
+// emitted as JSON Lines (see bench_json.h) and the google-benchmark thread
+// sweep is skipped — use --benchmark_format=json for machine-readable
+// thread-scaling data.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
+#include "fec/gf256_simd.h"
 #include "fec/reed_solomon.h"
 
 namespace {
@@ -79,6 +90,49 @@ void BM_EncodeThroughput(benchmark::State& state) {
       static_cast<double>(total_packets) / threads, benchmark::Counter::kIsRate);
 }
 
+// Single-threaded encode throughput of one GF(256) backend: repeatedly
+// encodes k=5 blocks of 512 B packets for ~300 ms and reports how many
+// megabytes of data packets per second the kernel pushed.
+struct BackendPoint {
+  fec::GfBackend backend;
+  double mbps;
+  double kpps;
+};
+
+BackendPoint measure_backend(fec::GfBackend backend) {
+  if (!fec::gf_set_backend(backend)) return {backend, 0.0, 0.0};
+  const fec::ReedSolomon rs(kBlock, 1);
+  WorkerState ws;
+  using Clock = std::chrono::steady_clock;
+
+  // Warm-up: fault in tables and settle the clock.
+  for (int i = 0; i < 50; ++i) rs.encode_into(ws.data_ptrs.data(), kPacketBytes, ws.parity_ptr);
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(300);
+  std::uint64_t blocks = 0;
+  while (Clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      rs.encode_into(ws.data_ptrs.data(), kPacketBytes, ws.parity_ptr);
+      benchmark::DoNotOptimize(ws.parity.data());
+    }
+    blocks += 64;
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  const double bytes = static_cast<double>(blocks) * kBlock * kPacketBytes;
+  return {backend, bytes / secs / 1e6, static_cast<double>(blocks) * kBlock / secs / 1e3};
+}
+
+// Runs the per-backend sweep; returns the rows so main can print or emit.
+std::vector<BackendPoint> sweep_backends() {
+  std::vector<BackendPoint> points;
+  for (fec::GfBackend b : fec::gf_available_backends()) {
+    points.push_back(measure_backend(b));
+  }
+  fec::gf_set_backend(fec::gf_best_backend());
+  return points;
+}
+
 }  // namespace
 
 BENCHMARK(BM_EncodeThroughput)
@@ -95,6 +149,38 @@ BENCHMARK(BM_EncodeThroughput)
     ->Iterations(3);
 
 int main(int argc, char** argv) {
+  const bool json = jqos::bench::want_json(argc, argv);
+
+  const auto points = sweep_backends();
+  double scalar_mbps = 0.0;
+  for (const auto& p : points) {
+    if (p.backend == fec::GfBackend::kScalar) scalar_mbps = p.mbps;
+  }
+  if (json) {
+    for (const auto& p : points) {
+      jqos::bench::JsonRow("fig10_scalability")
+          .add("name", "encode_backend")
+          .add("backend", fec::gf_backend_name(p.backend))
+          .add("k", static_cast<std::uint64_t>(kBlock))
+          .add("packet_bytes", static_cast<std::uint64_t>(kPacketBytes))
+          .add("mbps", p.mbps)
+          .add("kpps", p.kpps)
+          .add("speedup_vs_scalar", scalar_mbps > 0 ? p.mbps / scalar_mbps : 0.0)
+          .emit();
+    }
+    // The thread-scaling sweep is google-benchmark's; its own
+    // --benchmark_format=json covers the machine-readable case.
+    return 0;
+  }
+
+  std::printf("== GF(256) backend sweep: single-thread encode, k=5, 512 B packets ==\n");
+  std::printf("%-8s %12s %12s %10s\n", "backend", "MB/s", "Kpps", "vs scalar");
+  for (const auto& p : points) {
+    std::printf("%-8s %12.1f %12.1f %9.2fx\n", fec::gf_backend_name(p.backend), p.mbps,
+                p.kpps, scalar_mbps > 0 ? p.mbps / scalar_mbps : 0.0);
+  }
+  std::printf("(active backend for the thread sweep below: %s)\n\n", fec::gf_backend_name());
+
   std::printf("== Figure 10: encode throughput vs threads (512 B packets, s = 1/5) ==\n");
   std::printf("Paper (Dell R430, 32 hw threads): ~65 Kpps/thread, ~500 Kpps @ 8 threads;\n");
   std::printf("reproduce the LINEAR SHAPE -- absolute Kpps is hardware-dependent.\n");

@@ -1,0 +1,118 @@
+// Machine-readable bench output (ROADMAP "bench JSON emission" item).
+//
+// Benches print human-oriented tables by default; passing --json switches
+// them to JSON Lines — one self-contained object per measurement row on
+// stdout — so CI can diff throughput/figure rows across PRs and flag perf or
+// fidelity regressions automatically. One shared emitter keeps the schema
+// uniform across benches: every row carries a "bench" tag naming its
+// emitter, then bench-specific fields in call order.
+//
+// Usage:
+//   const bool json = jqos::bench::want_json(argc, argv);
+//   ...
+//   if (json) {
+//     jqos::bench::JsonRow("fig10").add("backend", "avx2").add("mbps", 1234.5).emit();
+//   }
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace jqos::bench {
+
+// True when "--json" appears among the command-line arguments.
+inline bool want_json(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+// Builder for one JSON Lines row. Fields appear in insertion order; emit()
+// prints the closed object plus a newline and may be called once.
+class JsonRow {
+ public:
+  explicit JsonRow(std::string_view bench) : buf_("{") { add("bench", bench); }
+
+  JsonRow& add(std::string_view key, std::string_view value) {
+    field_key(key);
+    buf_ += '"';
+    append_escaped(value);
+    buf_ += '"';
+    return *this;
+  }
+
+  JsonRow& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+
+  JsonRow& add(std::string_view key, double value) {
+    field_key(key);
+    char num[64];
+    // %.6g keeps rates readable while staying stable enough to diff.
+    std::snprintf(num, sizeof(num), "%.6g", value);
+    buf_ += num;
+    return *this;
+  }
+
+  JsonRow& add(std::string_view key, std::int64_t value) {
+    field_key(key);
+    char num[32];
+    std::snprintf(num, sizeof(num), "%" PRId64, value);
+    buf_ += num;
+    return *this;
+  }
+
+  JsonRow& add(std::string_view key, std::uint64_t value) {
+    field_key(key);
+    char num[32];
+    std::snprintf(num, sizeof(num), "%" PRIu64, value);
+    buf_ += num;
+    return *this;
+  }
+
+  void emit(std::FILE* out = stdout) {
+    buf_ += "}\n";
+    std::fputs(buf_.c_str(), out);
+    std::fflush(out);
+  }
+
+ private:
+  void field_key(std::string_view key) {
+    if (buf_.size() > 1) buf_ += ',';
+    buf_ += '"';
+    append_escaped(key);
+    buf_ += "\":";
+  }
+
+  void append_escaped(std::string_view s) {
+    for (char ch : s) {
+      switch (ch) {
+        case '"':
+          buf_ += "\\\"";
+          break;
+        case '\\':
+          buf_ += "\\\\";
+          break;
+        case '\n':
+          buf_ += "\\n";
+          break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof(esc), "\\u%04x", ch);
+            buf_ += esc;
+          } else {
+            buf_ += ch;
+          }
+      }
+    }
+  }
+
+  std::string buf_;
+};
+
+}  // namespace jqos::bench

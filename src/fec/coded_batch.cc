@@ -1,10 +1,41 @@
 #include "fec/coded_batch.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 namespace jqos::fec {
 namespace {
+
+// Constructing a ReedSolomon codec builds and inverts a Vandermonde block —
+// O(k^3) field operations. Batches reuse a handful of (k, r) shapes for the
+// lifetime of a run, so cache codecs instead of rebuilding one per batch.
+// ReedSolomon is immutable after construction, making the shared instances
+// safe for concurrent encode/decode; the mutex only guards the map itself.
+//
+// decode_batch feeds (k, r) straight from received packet metadata, so the
+// cache is bounded: a peer cycling through distinct shapes flushes the cache
+// rather than growing it without limit. Callers hold shared_ptr, so a flush
+// cannot free a codec that another thread is mid-encode on. The codec is
+// constructed before the map is touched, so a throwing constructor (invalid
+// shape from corrupt metadata) leaves no empty slot behind.
+std::shared_ptr<const ReedSolomon> shared_codec(std::size_t k, std::size_t r) {
+  constexpr std::size_t kMaxCachedShapes = 64;
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, std::size_t>, std::shared_ptr<const ReedSolomon>>
+      cache;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find({k, r});
+    if (it != cache.end()) return it->second;
+  }
+  auto codec = std::make_shared<const ReedSolomon>(k, r);  // Built outside the lock.
+  const std::lock_guard<std::mutex> lock(mu);
+  if (cache.size() >= kMaxCachedShapes) cache.clear();
+  return cache.try_emplace({k, r}, std::move(codec)).first->second;
+}
 
 // Shard framing: 2-byte original length prefix.
 constexpr std::size_t kLenPrefix = 2;
@@ -57,8 +88,8 @@ std::vector<PacketPtr> encode_batch(std::span<const PacketPtr> data,
   shard_spans.reserve(shards.size());
   for (const auto& s : shards) shard_spans.emplace_back(s);
 
-  const ReedSolomon rs(data.size(), num_coded);
-  auto parity = rs.encode(shard_spans);
+  const auto rs = shared_codec(data.size(), num_coded);
+  auto parity = rs->encode(shard_spans);
 
   std::vector<PacketPtr> out;
   out.reserve(num_coded);
@@ -120,8 +151,8 @@ std::optional<std::vector<RecoveredPacket>> decode_batch(
   }
   if (inputs.size() < k) return std::nullopt;
 
-  const ReedSolomon rs(k, meta.r);
-  auto decoded = rs.decode(inputs);
+  const auto rs = shared_codec(k, meta.r);
+  auto decoded = rs->decode(inputs);
   if (!decoded) return std::nullopt;
 
   std::vector<RecoveredPacket> out;

@@ -3,6 +3,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "fec/gf256_simd_impl.h"
+
 namespace jqos::fec {
 namespace {
 
@@ -75,14 +77,17 @@ Gf gf_pow(Gf a, unsigned e) {
   return t.exp_[l];
 }
 
+// The c==0 / c==1 fast paths are handled here, before dispatch: c==0 is a
+// no-op (or a zero/copy for mul_buf) and c==1 is a plain XOR/copy, both of
+// which the compiler already vectorizes; only genuine products reach the
+// backend kernels. The XOR/copy loops need no table and no PSHUFB.
 void gf_addmul(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
   if (c == 0) return;
-  const auto& row = tables().mul_[c];
   if (c == 1) {
     for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
     return;
   }
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  detail::gf_addmul_kernel()(dst, src, c, n);
 }
 
 void gf_mul_buf(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
@@ -94,9 +99,24 @@ void gf_mul_buf(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n)
     for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
     return;
   }
+  detail::gf_mul_buf_kernel()(dst, src, c, n);
+}
+
+namespace detail {
+
+// Scalar backend: one L1-resident 256-byte row walk per buffer. Defined here
+// (not in gf256_simd.cc) because it reads the full multiplication table.
+void gf_addmul_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
+  const auto& row = tables().mul_[c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void gf_mul_buf_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
   const auto& row = tables().mul_[c];
   for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
 }
+
+}  // namespace detail
 
 Gf gf_exp_table(unsigned i) { return tables().exp_.at(i); }
 

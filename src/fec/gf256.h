@@ -5,6 +5,13 @@
 // Multiplication is table-driven via log/exp tables built once at static
 // initialization; the buffer kernels (addmul / mul_buf) are what the encoder
 // hot path uses, processing whole packets at a time.
+//
+// The buffer kernels are SIMD-accelerated: a split-nibble PSHUFB
+// implementation (SSSE3 at 16 bytes/step, AVX2 at 32 bytes/step, scalar
+// table walk as the portable fallback) is selected once at startup by CPUID
+// runtime dispatch. See gf256_simd.h for the technique, the dispatch order,
+// and how to force a specific backend when debugging (gf_set_backend() or
+// the JQOS_GF_BACKEND environment variable).
 #pragma once
 
 #include <cstddef>
@@ -31,10 +38,13 @@ Gf gf_pow(Gf a, unsigned e);
 
 // dst[i] ^= c * src[i] for i in [0, n). The core encode/decode kernel: one
 // call accumulates one data packet, scaled by a matrix coefficient, into a
-// coded packet.
+// coded packet. No alignment requirement on either pointer. dst and src
+// must be either exactly equal or non-overlapping; partial overlap is
+// undefined (the SIMD backends load and store 16/32 bytes at a time).
 void gf_addmul(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
 
-// dst[i] = c * src[i].
+// dst[i] = c * src[i]. Same aliasing contract as gf_addmul: exact dst == src
+// (in-place scaling, used by matrix inversion) or no overlap.
 void gf_mul_buf(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
 
 // Direct table access for tests that validate table construction against

@@ -1,0 +1,147 @@
+// Backend selection for the GF(256) buffer kernels: builds the split-nibble
+// tables, probes CPU support once, honors the JQOS_GF_BACKEND override, and
+// hands gf256.cc a pair of kernel function pointers. This TU contains no
+// ISA-specific code itself — the SSSE3/AVX2 kernels live in their own TUs so
+// only those are built with -mssse3/-mavx2.
+#include "fec/gf256_simd.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "fec/gf256_simd_impl.h"
+
+namespace jqos::fec {
+namespace detail {
+namespace {
+
+NibbleTables build_nibble_tables() {
+  NibbleTables t;
+  for (int c = 0; c < 256; ++c) {
+    for (int x = 0; x < 16; ++x) {
+      t.lo[c][x] = gf_mul(static_cast<Gf>(c), static_cast<Gf>(x));
+      t.hi[c][x] = gf_mul(static_cast<Gf>(c), static_cast<Gf>(x << 4));
+    }
+  }
+  return t;
+}
+
+bool cpu_supports(GfBackend b) {
+#if JQOS_GF_X86 && defined(__GNUC__)
+  switch (b) {
+    case GfBackend::kScalar:
+      return true;
+    case GfBackend::kSsse3:
+      return __builtin_cpu_supports("ssse3") != 0;
+    case GfBackend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return b == GfBackend::kScalar;
+#endif
+}
+
+// JQOS_GF_BACKEND, parsed exactly once at first use (the header's documented
+// contract; later setenv calls have no effect and cannot race the getenv).
+// Unset, empty, "auto", or an unrecognized value all mean "no constraint"
+// (unrecognized values must not silently degrade a production encoder to
+// scalar).
+std::optional<GfBackend> env_backend() {
+  static const std::optional<GfBackend> parsed = []() -> std::optional<GfBackend> {
+    const char* v = std::getenv("JQOS_GF_BACKEND");
+    if (v == nullptr || *v == '\0') return std::nullopt;
+    if (std::strcmp(v, "scalar") == 0) return GfBackend::kScalar;
+    if (std::strcmp(v, "ssse3") == 0) return GfBackend::kSsse3;
+    if (std::strcmp(v, "avx2") == 0) return GfBackend::kAvx2;
+    return std::nullopt;
+  }();
+  return parsed;
+}
+
+struct Dispatch {
+  GfBackend backend;
+  KernelFn addmul;
+  KernelFn mul_buf;
+};
+
+Dispatch make_dispatch(GfBackend b) {
+  switch (b) {
+    case GfBackend::kAvx2:
+      return {b, &gf_addmul_avx2, &gf_mul_buf_avx2};
+    case GfBackend::kSsse3:
+      return {b, &gf_addmul_ssse3, &gf_mul_buf_ssse3};
+    case GfBackend::kScalar:
+      break;
+  }
+  return {GfBackend::kScalar, &gf_addmul_scalar, &gf_mul_buf_scalar};
+}
+
+Dispatch& dispatch() {
+  static Dispatch d = make_dispatch(gf_best_backend());
+  return d;
+}
+
+}  // namespace
+
+const NibbleTables& nibble_tables() {
+  static const NibbleTables t = build_nibble_tables();
+  return t;
+}
+
+KernelFn gf_addmul_kernel() { return dispatch().addmul; }
+KernelFn gf_mul_buf_kernel() { return dispatch().mul_buf; }
+
+}  // namespace detail
+
+bool gf_backend_available(GfBackend b) {
+  switch (b) {
+    case GfBackend::kScalar:
+      return true;
+    case GfBackend::kSsse3:
+      return detail::gf_ssse3_compiled() && detail::cpu_supports(b);
+    case GfBackend::kAvx2:
+      return detail::gf_avx2_compiled() && detail::cpu_supports(b);
+  }
+  return false;
+}
+
+std::vector<GfBackend> gf_available_backends() {
+  std::vector<GfBackend> out;
+  for (GfBackend b : {GfBackend::kScalar, GfBackend::kSsse3, GfBackend::kAvx2}) {
+    if (gf_backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+GfBackend gf_best_backend() {
+  const auto forced = detail::env_backend();
+  if (forced && gf_backend_available(*forced)) return *forced;
+  if (gf_backend_available(GfBackend::kAvx2)) return GfBackend::kAvx2;
+  if (gf_backend_available(GfBackend::kSsse3)) return GfBackend::kSsse3;
+  return GfBackend::kScalar;
+}
+
+bool gf_set_backend(GfBackend b) {
+  if (!gf_backend_available(b)) return false;
+  detail::dispatch() = detail::make_dispatch(b);
+  return true;
+}
+
+GfBackend gf_backend() { return detail::dispatch().backend; }
+
+const char* gf_backend_name(GfBackend b) {
+  switch (b) {
+    case GfBackend::kScalar:
+      return "scalar";
+    case GfBackend::kSsse3:
+      return "ssse3";
+    case GfBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const char* gf_backend_name() { return gf_backend_name(gf_backend()); }
+
+}  // namespace jqos::fec

@@ -1,0 +1,56 @@
+// Internals shared between the dispatcher (gf256_simd.cc) and the per-ISA
+// kernel translation units (gf256_simd_ssse3.cc / gf256_simd_avx2.cc). Not
+// installed; include only from within src/fec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fec/gf256.h"
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64) || defined(_M_IX86)
+#define JQOS_GF_X86 1
+#else
+#define JQOS_GF_X86 0
+#endif
+
+namespace jqos::fec::detail {
+
+// Split-nibble product tables, built once at static init alongside the
+// log/exp tables: for each coefficient c,
+//   lo[c][x] = c * x          for x in [0, 16)   (low-nibble products)
+//   hi[c][x] = c * (x << 4)   for x in [0, 16)   (high-nibble products)
+// Each 16-byte row is one PSHUFB operand; 32-byte alignment lets the AVX2
+// path broadcast rows with aligned loads. 256 * 2 * 16 = 8 KiB total.
+struct NibbleTables {
+  alignas(32) std::uint8_t lo[256][16];
+  alignas(32) std::uint8_t hi[256][16];
+};
+
+const NibbleTables& nibble_tables();
+
+// The dispatched kernels, resolved on first use (and re-resolved by
+// gf_set_backend). gf256.cc calls through these after stripping the
+// c==0 / c==1 fast paths.
+using KernelFn = void (*)(std::uint8_t*, const std::uint8_t*, Gf, std::size_t);
+KernelFn gf_addmul_kernel();
+KernelFn gf_mul_buf_kernel();
+
+// Scalar reference kernels (no fast-path handling: callers strip c==0/c==1
+// before dispatch). Also used for SIMD loop tails.
+void gf_addmul_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+void gf_mul_buf_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+
+// Per-ISA kernels. The symbols always exist so the dispatcher links on any
+// platform; when the TU was compiled without the matching ISA (non-x86, or a
+// compiler lacking -mssse3/-mavx2) they delegate to the scalar kernel and
+// the *_compiled() probe reports false, which keeps them out of dispatch.
+bool gf_ssse3_compiled();
+void gf_addmul_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+void gf_mul_buf_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+
+bool gf_avx2_compiled();
+void gf_addmul_avx2(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+void gf_mul_buf_avx2(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+
+}  // namespace jqos::fec::detail

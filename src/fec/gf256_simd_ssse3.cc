@@ -1,0 +1,66 @@
+// SSSE3 split-nibble GF(256) kernels. This TU (and only this TU) is built
+// with -mssse3 so PSHUFB is usable without raising the ISA floor of the rest
+// of the build; dispatch guarantees these run only on CPUs that report SSSE3.
+#include "fec/gf256_simd_impl.h"
+
+#if JQOS_GF_X86 && defined(__SSSE3__)
+
+#include <tmmintrin.h>
+
+namespace jqos::fec::detail {
+
+bool gf_ssse3_compiled() { return true; }
+
+void gf_addmul_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  // Unaligned loads/stores handle arbitrary head alignment; the remainder
+  // (< 16 bytes) falls through to the scalar tail.
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(pl, ph)));
+  }
+  if (i < n) gf_addmul_scalar(dst + i, src + i, c, n - i);
+}
+
+void gf_mul_buf_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i ph = _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(pl, ph));
+  }
+  if (i < n) gf_mul_buf_scalar(dst + i, src + i, c, n - i);
+}
+
+}  // namespace jqos::fec::detail
+
+#else  // !x86 or compiler without -mssse3: keep the symbols, stay scalar.
+
+namespace jqos::fec::detail {
+
+bool gf_ssse3_compiled() { return false; }
+
+void gf_addmul_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
+  gf_addmul_scalar(dst, src, c, n);
+}
+
+void gf_mul_buf_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
+  gf_mul_buf_scalar(dst, src, c, n);
+}
+
+}  // namespace jqos::fec::detail
+
+#endif

@@ -33,13 +33,11 @@ Matrix Matrix::vandermonde(std::size_t rows, std::size_t cols) {
 Matrix Matrix::mul(const Matrix& rhs) const {
   if (cols_ != rhs.rows_) throw std::invalid_argument("matrix mul: shape mismatch");
   Matrix out(rows_, rhs.cols_);
+  // Row-times-matrix as row accumulation: out.row(i) ^= a * rhs.row(k) goes
+  // through the same dispatched gf_addmul kernel as the packet hot path.
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
-      const Gf a = at(i, k);
-      if (a == 0) continue;
-      for (std::size_t j = 0; j < rhs.cols_; ++j) {
-        out.at(i, j) = gf_add(out.at(i, j), gf_mul(a, rhs.at(k, j)));
-      }
+      gf_addmul(out.row(i), rhs.row(k), at(i, k), rhs.cols_);
     }
   }
   return out;
@@ -74,21 +72,19 @@ std::optional<Matrix> Matrix::inverted() const {
       }
     }
     // Scale pivot row to 1. The pivot is non-zero by construction, so
-    // gf_inv cannot throw here.
+    // gf_inv cannot throw here. gf_mul_buf permits exact dst==src aliasing,
+    // so the rows scale in place through the dispatched kernel.
     const Gf scale = gf_inv(a.at(col, col));
-    for (std::size_t j = 0; j < n; ++j) {
-      a.at(col, j) = gf_mul(a.at(col, j), scale);
-      inv.at(col, j) = gf_mul(inv.at(col, j), scale);
-    }
-    // Eliminate the column everywhere else.
+    gf_mul_buf(a.row(col), a.row(col), scale, n);
+    gf_mul_buf(inv.row(col), inv.row(col), scale, n);
+    // Eliminate the column everywhere else: row_i ^= f * row_col is exactly
+    // the gf_addmul row-accumulation primitive (c == 0 rows are a no-op
+    // inside the kernel's fast path).
     for (std::size_t i = 0; i < n; ++i) {
       if (i == col) continue;
       const Gf f = a.at(i, col);
-      if (f == 0) continue;
-      for (std::size_t j = 0; j < n; ++j) {
-        a.at(i, j) = gf_add(a.at(i, j), gf_mul(f, a.at(col, j)));
-        inv.at(i, j) = gf_add(inv.at(i, j), gf_mul(f, inv.at(col, j)));
-      }
+      gf_addmul(a.row(i), a.row(col), f, n);
+      gf_addmul(inv.row(i), inv.row(col), f, n);
     }
   }
   return inv;

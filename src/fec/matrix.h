@@ -28,6 +28,7 @@ class Matrix {
   Gf at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
   Gf& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   const Gf* row(std::size_t r) const { return &data_[r * cols_]; }
+  Gf* row(std::size_t r) { return &data_[r * cols_]; }
 
   Matrix mul(const Matrix& rhs) const;
 

@@ -79,7 +79,11 @@ std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
       }
     }
     if (direct || len == 0) continue;
-    for (std::size_t j = 0; j < k_; ++j) {
+    // Same accumulate structure as encode_into: first term initializes via
+    // mul_buf (saves one pass over the zero-filled buffer), the rest
+    // accumulate through the dispatched addmul kernel.
+    gf_mul_buf(out[i].data(), bufs[0].data(), sub_inv->at(i, 0), len);
+    for (std::size_t j = 1; j < k_; ++j) {
       gf_addmul(out[i].data(), bufs[j].data(), sub_inv->at(i, j), len);
     }
   }

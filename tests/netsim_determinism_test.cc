@@ -1,0 +1,117 @@
+// Determinism regression for the discrete-event simulator: two runs with the
+// same seed must produce byte-identical event traces and stats. This is the
+// contract every experiment in exp/ relies on for reproducible figures, and
+// it is the property most at risk from the planned event-queue batching /
+// calendar-queue work (ROADMAP): any reordering of equal-timestamp events or
+// seed-dependent divergence shows up here before it corrupts a figure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "netsim/simulator.h"
+
+namespace jqos::netsim {
+namespace {
+
+struct TraceEntry {
+  SimTime at;
+  std::uint64_t label;
+
+  bool operator==(const TraceEntry&) const = default;
+};
+
+// A randomized self-expanding workload: each event may spawn children at
+// random future offsets and may cancel a previously scheduled event. This
+// exercises scheduling, equal-timestamp ties (delays are coarsely quantized
+// so collisions are common), and lazy cancellation — the full EventQueue
+// surface — while every random draw flows from one seed.
+struct CascadeRun {
+  std::vector<TraceEntry> trace;
+  std::uint64_t events_processed = 0;
+  SimTime end_time = 0;
+};
+
+CascadeRun run_cascade(std::uint64_t seed) {
+  Simulator sim;
+  Rng rng(seed);
+  std::uint64_t next_label = 0;
+  std::vector<EventId> cancellable;
+  CascadeRun out;
+
+  // The recursive spawner. Capturing structured state by reference is safe:
+  // everything outlives sim.run().
+  struct Spawner {
+    Simulator& sim;
+    Rng& rng;
+    std::uint64_t& next_label;
+    std::vector<EventId>& cancellable;
+    CascadeRun& out;
+    int budget;  // Remaining spawns; bounds the cascade.
+
+    void spawn(int depth) {
+      if (budget <= 0) return;
+      --budget;
+      const std::uint64_t label = next_label++;
+      // Coarse 100us grid => frequent equal-timestamp ties.
+      const SimDuration delay = usec(100 * rng.uniform_int(0, 50));
+      const EventId id = sim.after(delay, [this, label, depth] {
+        out.trace.push_back({sim.now(), label});
+        // Supercritical branching (mean 1.5 children) so the cascade runs
+        // until the spawn budget is consumed rather than dying out early.
+        const std::int64_t children = depth < 400 ? rng.uniform_int(1, 2) : 0;
+        for (std::int64_t c = 0; c < children; ++c) spawn(depth + 1);
+        if (!cancellable.empty() && rng.bernoulli(0.3)) {
+          const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(cancellable.size()) - 1));
+          sim.cancel(cancellable[pick]);
+          cancellable.erase(cancellable.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+      });
+      if (rng.bernoulli(0.2)) cancellable.push_back(id);
+    }
+  };
+
+  Spawner spawner{sim, rng, next_label, cancellable, out, 2000};
+  for (int i = 0; i < 16; ++i) spawner.spawn(0);
+  sim.run();
+
+  out.events_processed = sim.events_processed();
+  out.end_time = sim.now();
+  return out;
+}
+
+TEST(NetsimDeterminism, SameSeedSameTraceAndStats) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const CascadeRun a = run_cascade(seed);
+    const CascadeRun b = run_cascade(seed);
+    ASSERT_GT(a.trace.size(), 100u) << "cascade too small to be a meaningful guard";
+    EXPECT_EQ(a.events_processed, b.events_processed) << "seed=" << seed;
+    EXPECT_EQ(a.end_time, b.end_time) << "seed=" << seed;
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << "seed=" << seed;
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+      ASSERT_EQ(a.trace[i], b.trace[i])
+          << "seed=" << seed << ": traces diverge at event " << i << " (t=" << a.trace[i].at
+          << " label=" << a.trace[i].label << " vs t=" << b.trace[i].at << " label="
+          << b.trace[i].label << ")";
+    }
+  }
+}
+
+TEST(NetsimDeterminism, EqualTimestampEventsFireInInsertionOrder) {
+  // The documented tie-break: equal timestamps deliver in insertion order.
+  // Batching work must preserve this, or every seeded experiment shifts.
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    sim.at(msec(5), [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace jqos::netsim

@@ -1,14 +1,17 @@
 // Section 6.6 deployment-cost table: forwarding vs caching vs coding for
 // 150 concurrent Skype calls through a 2-DC overlay, from the cloud cost
 // model (ingress free, egress charged, compute per thread-hour).
+// Flags: --json emits the cost rows as JSON Lines for CI diffing.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "exp/report.h"
 #include "overlay/cost_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jqos;
-  std::printf("== Section 6.6: deployment cost (150 Skype calls, 2-DC overlay) ==\n");
+  const bool json = bench::want_json(argc, argv);
+  if (!json) std::printf("== Section 6.6: deployment cost (150 Skype calls, 2-DC overlay) ==\n");
 
   const overlay::CostModel model;
   const overlay::SkypeLoad load;
@@ -23,6 +26,33 @@ int main() {
   const double cache_bw = (gb_per_hour + gb_per_hour * 0.01) * egress;  // ~1% pulls.
   const double code_rate = 1.0 / 16.0;
   const double code_bw = 2.0 * gb_per_hour * code_rate * egress;
+
+  if (json) {
+    const auto row = [&](const char* service, double gbph, double bw) {
+      bench::JsonRow("cost")
+          .add("name", "service_cost")
+          .add("service", service)
+          .add("inter_dc_gb_per_hour", gbph)
+          .add("bandwidth_usd_per_hour", bw)
+          .add("compute_usd_per_hour", compute)
+          .add("total_usd_per_hour", bw + compute)
+          .add("x_cheaper_than_fwd", bw > 0 ? fwd_bw / bw : 0.0)
+          .emit();
+    };
+    row("forwarding", gb_per_hour, fwd_bw);
+    row("caching", gb_per_hour, cache_bw);
+    row("coding_r16", gb_per_hour * code_rate, code_bw);
+    for (double r : {1.0 / 2.0, 1.0 / 4.0, 1.0 / 8.0, 1.0 / 16.0, 1.0 / 32.0}) {
+      const double bw = 2.0 * gb_per_hour * r * egress;
+      bench::JsonRow("cost")
+          .add("name", "rate_sweep")
+          .add("coding_rate", r)
+          .add("bandwidth_usd_per_hour", bw)
+          .add("x_cheaper_than_fwd", fwd_bw / bw)
+          .emit();
+    }
+    return 0;
+  }
 
   t.add_row({"forwarding", exp::Table::num(gb_per_hour, 1), exp::Table::num(fwd_bw),
              exp::Table::num(compute), exp::Table::num(fwd_bw + compute), "1.0x"});

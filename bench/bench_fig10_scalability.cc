@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "fec/gf256_simd.h"
 #include "fec/reed_solomon.h"
+#include "netsim/network.h"
 
 namespace {
 
@@ -133,6 +134,100 @@ std::vector<BackendPoint> sweep_backends() {
   return points;
 }
 
+// ---------------- netsim packet-dispatch sweep (event core) ----------------
+//
+// The coding kernels stopped being the bottleneck after the SIMD work; the
+// simulator's event core is what bounds how many packets a figure sweep can
+// push. This sweep drives >= 1M simulated packets through the real netsim
+// fabric (Network + bandwidth-serialized jittered links, windowed senders)
+// once per event-queue backend and reports end-to-end events/sec.
+struct NetsimPoint {
+  netsim::EvqBackend backend;
+  std::uint64_t packets = 0;
+  std::uint64_t events = 0;
+  double wall_sec = 0.0;
+
+  double events_per_sec() const { return static_cast<double>(events) / wall_sec; }
+  double kpps() const { return static_cast<double>(packets) / wall_sec / 1e3; }
+};
+
+NetsimPoint run_netsim_sweep(netsim::EvqBackend backend, std::uint64_t total_packets) {
+  netsim::Simulator sim(backend);
+  netsim::Network net(sim);
+  Rng rng(7);
+
+  constexpr std::size_t kFlows = 16;
+  constexpr std::size_t kWindow = 256;  // Outstanding packets per flow.
+  const std::uint64_t per_flow = total_packets / kFlows;
+
+  struct Pump final : netsim::Node {
+    netsim::Network& net;
+    NodeId self;
+    NodeId peer = 0;
+    FlowId flow = 0;
+    std::uint64_t to_send = 0;
+    std::uint64_t received = 0;
+    SeqNo next_seq = 0;
+
+    Pump(netsim::Network& n, NodeId id) : net(n), self(id) {}
+    NodeId id() const override { return self; }
+    void send_one() {
+      if (to_send == 0) return;
+      --to_send;
+      net.send(self, make_data_packet(flow, next_seq++, self, peer, 0, 512));
+    }
+    void handle_packet(const PacketPtr&) override {}
+  };
+
+  struct Sink final : netsim::Node {
+    NodeId self;
+    Pump* pump = nullptr;
+    std::uint64_t received = 0;
+    explicit Sink(NodeId id) : self(id) {}
+    NodeId id() const override { return self; }
+    void handle_packet(const PacketPtr&) override {
+      ++received;
+      pump->send_one();  // Sliding window: every delivery releases one send.
+    }
+  };
+
+  std::vector<std::unique_ptr<Pump>> pumps;
+  std::vector<std::unique_ptr<Sink>> sinks;
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    auto pump = std::make_unique<Pump>(net, net.allocate_id());
+    auto sink = std::make_unique<Sink>(net.allocate_id());
+    pump->peer = sink->id();
+    pump->flow = static_cast<FlowId>(f + 1);
+    pump->to_send = per_flow;
+    sink->pump = pump.get();
+    net.attach(*pump);
+    net.attach(*sink);
+    netsim::JitterParams jp;
+    jp.base = msec(20);
+    jp.jitter_scale_ms = 2.0;
+    // 1 Gbps with ~540 B wire packets: ~4.3 us serialization per packet.
+    net.add_link(pump->id(), sink->id(), netsim::make_jitter_latency(jp, rng.fork("j")),
+                 netsim::make_no_loss(), 1e9);
+    pumps.push_back(std::move(pump));
+    sinks.push_back(std::move(sink));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& p : pumps) {
+    for (std::size_t w = 0; w < kWindow; ++w) p->send_one();
+  }
+  sim.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  NetsimPoint point;
+  point.backend = backend;
+  for (auto& s : sinks) point.packets += s->received;
+  point.events = sim.events_processed();
+  point.wall_sec = secs;
+  return point;
+}
+
 }  // namespace
 
 BENCHMARK(BM_EncodeThroughput)
@@ -150,6 +245,15 @@ BENCHMARK(BM_EncodeThroughput)
 
 int main(int argc, char** argv) {
   const bool json = jqos::bench::want_json(argc, argv);
+  const bool quick = jqos::bench::want_flag(argc, argv, "--quick");
+
+  // Event-core sweep: >= 1M simulated packets through the netsim fabric,
+  // once per event-queue backend (the heap row is the regression baseline).
+  const std::uint64_t sim_packets = quick ? 100'000 : 1'000'000;
+  std::vector<NetsimPoint> netsim_points;
+  for (netsim::EvqBackend b : {netsim::EvqBackend::kHeap, netsim::EvqBackend::kLadder}) {
+    netsim_points.push_back(run_netsim_sweep(b, sim_packets));
+  }
 
   const auto points = sweep_backends();
   double scalar_mbps = 0.0;
@@ -157,6 +261,17 @@ int main(int argc, char** argv) {
     if (p.backend == fec::GfBackend::kScalar) scalar_mbps = p.mbps;
   }
   if (json) {
+    for (const auto& p : netsim_points) {
+      jqos::bench::JsonRow("fig10_scalability")
+          .add("name", "netsim_dispatch")
+          .add("backend", netsim::evq_backend_name(p.backend))
+          .add("packets", p.packets)
+          .add("events", p.events)
+          .add("wall_sec", p.wall_sec)
+          .add("events_per_sec", p.events_per_sec())
+          .add("kpps", p.kpps())
+          .emit();
+    }
     for (const auto& p : points) {
       jqos::bench::JsonRow("fig10_scalability")
           .add("name", "encode_backend")
@@ -172,6 +287,17 @@ int main(int argc, char** argv) {
     // --benchmark_format=json covers the machine-readable case.
     return 0;
   }
+
+  std::printf("== Netsim packet dispatch: %llu simulated packets, per event-queue backend ==\n",
+              static_cast<unsigned long long>(sim_packets));
+  std::printf("%-8s %12s %12s %14s %12s\n", "backend", "packets", "events", "events/sec",
+              "Kpps");
+  for (const auto& p : netsim_points) {
+    std::printf("%-8s %12llu %12llu %14.0f %12.1f\n", netsim::evq_backend_name(p.backend),
+                static_cast<unsigned long long>(p.packets),
+                static_cast<unsigned long long>(p.events), p.events_per_sec(), p.kpps());
+  }
+  std::printf("\n");
 
   std::printf("== GF(256) backend sweep: single-thread encode, k=5, 512 B packets ==\n");
   std::printf("%-8s %12s %12s %10s\n", "backend", "MB/s", "Kpps", "vs scalar");

@@ -3,18 +3,67 @@
 //  (b) recovery delay / RTT CDF for caching and coding
 //  (c) end-host -> nearest-DC latency CDF (EU)
 //  (d) northern-EU delta under the 2007 / 2014 / 2018 DC catalogs
+//
+// Flags: --json emits the headline figure metrics as JSON Lines (see
+// bench_json.h) for CI row diffing; --quick shrinks the path count.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "exp/feasibility.h"
 #include "exp/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jqos;
+  const bool json = bench::want_json(argc, argv);
+  const bool quick = bench::want_flag(argc, argv, "--quick");
   exp::FeasibilityParams params;
-  params.num_paths = 6250;  // The paper's path count.
-  std::printf("== Figure 7: J-QoS service feasibility (%zu US-East -> EU paths) ==\n",
-              params.num_paths);
+  params.num_paths = quick ? 800 : 6250;  // 6250 is the paper's path count.
+  if (!json) {
+    std::printf("== Figure 7: J-QoS service feasibility (%zu US-East -> EU paths) ==\n",
+                params.num_paths);
+  }
   const exp::FeasibilityResult r = exp::run_feasibility(params);
+
+  if (json) {
+    const auto latency_row = [&](const char* treatment, const Samples& s) {
+      bench::JsonRow("fig7_feasibility")
+          .add("name", "delivery_latency")
+          .add("treatment", treatment)
+          .add("paths", static_cast<std::uint64_t>(params.num_paths))
+          .add("p50_ms", s.percentile(50))
+          .add("p95_ms", s.percentile(95))
+          .add("p99_ms", s.percentile(99))
+          .emit();
+    };
+    latency_row("internet", r.internet_ms);
+    latency_row("forwarding", r.forwarding_ms);
+    latency_row("caching", r.caching_ms);
+    latency_row("coding", r.coding_ms);
+    bench::JsonRow("fig7_feasibility")
+        .add("name", "recovery_over_rtt")
+        .add("service", "caching")
+        .add("cdf_025", r.caching_recovery_over_rtt.cdf_at(0.25))
+        .add("cdf_05", r.caching_recovery_over_rtt.cdf_at(0.5))
+        .emit();
+    bench::JsonRow("fig7_feasibility")
+        .add("name", "recovery_over_rtt")
+        .add("service", "coding")
+        .add("cdf_025", r.coding_recovery_over_rtt.cdf_at(0.25))
+        .add("cdf_05", r.coding_recovery_over_rtt.cdf_at(0.5))
+        .emit();
+    bench::JsonRow("fig7_feasibility")
+        .add("name", "delta_eu")
+        .add("cdf_10ms", r.delta_eu_ms.cdf_at(10.0))
+        .add("median_ms", r.delta_eu_ms.median())
+        .emit();
+    bench::JsonRow("fig7_feasibility")
+        .add("name", "delta_neu_by_catalog")
+        .add("median_2007_ms", r.delta_neu_2007_ms.median())
+        .add("median_2014_ms", r.delta_neu_2014_ms.median())
+        .add("median_now_ms", r.delta_neu_now_ms.median())
+        .emit();
+    return 0;
+  }
 
   exp::print_cdf("Fig7a internet one-way delivery latency (ms)", r.internet_ms);
   exp::print_cdf("Fig7a forwarding delivery latency (ms)", r.forwarding_ms);

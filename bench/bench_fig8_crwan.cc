@@ -6,21 +6,20 @@
 //  (d) recovery time / RTT, per region pair
 //  (e) 2 vs 1 cross-stream coded packets (straggler protection ablation)
 //
-// Flags: --quick shrinks the run for smoke testing; --ablate runs (e) and
-// the in-stream ablation too (also run by default).
+// Flags: --quick shrinks the run for smoke testing; --json emits the
+// headline figure metrics as JSON Lines (see bench_json.h) for CI diffing.
 #include <cstdio>
 #include <cstring>
 
+#include "bench_json.h"
 #include "exp/fec_whatif.h"
 #include "exp/planetlab.h"
 #include "exp/report.h"
 
 int main(int argc, char** argv) {
   using namespace jqos;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  const bool json = bench::want_json(argc, argv);
+  const bool quick = bench::want_flag(argc, argv, "--quick");
 
   exp::PlanetlabConfig config;
   config.num_paths = 45;
@@ -29,13 +28,15 @@ int main(int argc, char** argv) {
     config.cbr.on_duration = sec(45);
     config.cbr.mean_off = sec(45);
   }
-  std::printf("== Figure 8: CR-WAN deployment (%zu paths, %s simulated) ==\n",
-              config.num_paths, format_duration(config.duration).c_str());
+  if (!json) {
+    std::printf("== Figure 8: CR-WAN deployment (%zu paths, %s simulated) ==\n",
+                config.num_paths, format_duration(config.duration).c_str());
+  }
 
   const exp::PlanetlabResult result = exp::run_planetlab(config);
 
   // ---- (a) per-path recovery CCDF ----
-  exp::print_ccdf("Fig8a per-path recovery success rate (%)", result.per_path_recovery);
+  if (!json) exp::print_ccdf("Fig8a per-path recovery success rate (%)", result.per_path_recovery);
   double paths_over_80 = 0;
   Samples loss_rates;
   for (const auto& p : result.paths) {
@@ -43,14 +44,16 @@ int main(int argc, char** argv) {
     loss_rates.add(p.loss_rate * 100.0);
   }
   paths_over_80 /= static_cast<double>(result.paths.size());
-  exp::print_claim("Fig8a overall recovery", "CR-WAN recovers 78% of lost packets",
-                   exp::Table::num(result.overall_recovery * 100.0, 1) + "%");
-  exp::print_claim("Fig8a paths recovering >80%", "82% of paths",
-                   exp::Table::num(paths_over_80 * 100.0, 1) + "%");
-  exp::print_claim("Fig8 loss rates", "up to 0.9% loss; 40% of paths > 0.1%",
-                   "max " + exp::Table::num(loss_rates.max(), 2) + "%, >0.1% on " +
-                       exp::Table::num(100.0 - loss_rates.cdf_at(0.1) * 100.0, 0) +
-                       "% of paths");
+  if (!json) {
+    exp::print_claim("Fig8a overall recovery", "CR-WAN recovers 78% of lost packets",
+                     exp::Table::num(result.overall_recovery * 100.0, 1) + "%");
+    exp::print_claim("Fig8a paths recovering >80%", "82% of paths",
+                     exp::Table::num(paths_over_80 * 100.0, 1) + "%");
+    exp::print_claim("Fig8 loss rates", "up to 0.9% loss; 40% of paths > 0.1%",
+                     "max " + exp::Table::num(loss_rates.max(), 2) + "%, >0.1% on " +
+                         exp::Table::num(100.0 - loss_rates.cdf_at(0.1) * 100.0, 0) +
+                         "% of paths");
+  }
 
   // ---- (b) loss-episode mix on >80%-recovery paths ----
   exp::EpisodeMix mix;
@@ -63,13 +66,15 @@ int main(int argc, char** argv) {
     outage_frac.add(p.episodes.outage_fraction() * 100.0);
     if (p.episodes.outage_episodes > 0) ++paths_with_outage;
   }
-  exp::print_cdf("Fig8b Random episode loss contribution (%)", random_frac);
-  exp::print_cdf("Fig8b Multi-packet episode loss contribution (%)", multi_frac);
-  exp::print_cdf("Fig8b Outage episode loss contribution (%)", outage_frac);
-  exp::print_claim("Fig8b outages not uncommon", "45% of paths see 1-3s outages",
-                   exp::Table::num(100.0 * static_cast<double>(paths_with_outage) /
-                                       static_cast<double>(result.paths.size()), 0) +
-                       "% of paths saw an outage episode");
+  if (!json) {
+    exp::print_cdf("Fig8b Random episode loss contribution (%)", random_frac);
+    exp::print_cdf("Fig8b Multi-packet episode loss contribution (%)", multi_frac);
+    exp::print_cdf("Fig8b Outage episode loss contribution (%)", outage_frac);
+    exp::print_claim("Fig8b outages not uncommon", "45% of paths see 1-3s outages",
+                     exp::Table::num(100.0 * static_cast<double>(paths_with_outage) /
+                                         static_cast<double>(result.paths.size()), 0) +
+                         "% of paths saw an outage episode");
+  }
 
   // ---- (c) CR-WAN vs on-path FEC what-if ----
   Samples inc20, inc40, inc100;
@@ -81,56 +86,99 @@ int main(int argc, char** argv) {
     inc100.add(exp::percent_increase(crwan, exp::fec_recovery_rate(p.trace, 5, 5)));
     if (exp::has_fec_unrecoverable_episode(p.trace, 5, 5)) ++fec100_defeated;
   }
-  exp::print_cdf("Fig8c % increase vs FEC 20% overhead", inc20);
-  exp::print_cdf("Fig8c % increase vs FEC 40% overhead", inc40);
-  exp::print_cdf("Fig8c % increase vs FEC 100% overhead", inc100);
-  exp::print_claim("Fig8c paths with episodes FEC-100% cannot recover",
-                   "90% of paths had at least one",
-                   exp::Table::num(100.0 * static_cast<double>(fec100_defeated) /
-                                       static_cast<double>(result.paths.size()), 0) +
-                       "%");
-  exp::print_claim("Fig8c vs 20% FEC", ">=100% recovery increase on 70% of paths",
-                   exp::Table::num(100.0 * (1.0 - inc20.cdf_at(99.99)), 0) +
-                       "% of paths see >=100% increase");
+  if (!json) {
+    exp::print_cdf("Fig8c % increase vs FEC 20% overhead", inc20);
+    exp::print_cdf("Fig8c % increase vs FEC 40% overhead", inc40);
+    exp::print_cdf("Fig8c % increase vs FEC 100% overhead", inc100);
+    exp::print_claim("Fig8c paths with episodes FEC-100% cannot recover",
+                     "90% of paths had at least one",
+                     exp::Table::num(100.0 * static_cast<double>(fec100_defeated) /
+                                         static_cast<double>(result.paths.size()), 0) +
+                         "%");
+    exp::print_claim("Fig8c vs 20% FEC", ">=100% recovery increase on 70% of paths",
+                     exp::Table::num(100.0 * (1.0 - inc20.cdf_at(99.99)), 0) +
+                         "% of paths see >=100% increase");
+  }
 
   // ---- (d) recovery time / RTT per region ----
-  exp::print_cdf("Fig8d recovery time / RTT (aggregate)", result.recovery_over_rtt_all);
-  for (const auto& [label, samples] : result.recovery_over_rtt_by_region) {
-    if (samples.count() < 10) continue;
-    exp::print_cdf("Fig8d recovery time / RTT (" + label + ")", samples);
+  if (!json) {
+    exp::print_cdf("Fig8d recovery time / RTT (aggregate)", result.recovery_over_rtt_all);
+    for (const auto& [label, samples] : result.recovery_over_rtt_by_region) {
+      if (samples.count() < 10) continue;
+      exp::print_cdf("Fig8d recovery time / RTT (" + label + ")", samples);
+    }
+    exp::print_claim("Fig8d fast recovery", "95% of packets recovered within 0.5x RTT",
+                     "CDF(0.5) = " +
+                         exp::Table::num(result.recovery_over_rtt_all.cdf_at(0.5), 2));
   }
-  exp::print_claim("Fig8d fast recovery", "95% of packets recovered within 0.5x RTT",
-                   "CDF(0.5) = " +
-                       exp::Table::num(result.recovery_over_rtt_all.cdf_at(0.5), 2));
 
-  // ---- recovery statistics table ----
-  exp::Table stats({"metric", "value"});
-  stats.add_row({"nacks received", std::to_string(result.recovery.nacks)});
-  stats.add_row({"in-stream serves", std::to_string(result.recovery.in_stream_served)});
-  stats.add_row({"cooperative ops", std::to_string(result.recovery.coop_ops)});
-  stats.add_row({"cooperative successes", std::to_string(result.recovery.coop_success)});
-  stats.add_row({"deadline failures",
-                 std::to_string(result.recovery.coop_deadline_failures)});
-  stats.add_row({"cross batches encoded", std::to_string(result.encoder.cross_batches)});
-  stats.add_row({"in-stream batches encoded", std::to_string(result.encoder.in_batches)});
-  stats.add_row({"coded packets sent", std::to_string(result.encoder.coded_sent)});
-  stats.add_row({"coding overhead (coded/data)",
-                 exp::Table::num(static_cast<double>(result.encoder.coded_sent) /
-                                     static_cast<double>(
-                                         std::max<std::uint64_t>(1,
-                                                                 result.encoder.data_packets)),
-                                 3)});
-  stats.print("CR-WAN deployment counters");
+  if (!json) {
+    // ---- recovery statistics table ----
+    exp::Table stats({"metric", "value"});
+    stats.add_row({"nacks received", std::to_string(result.recovery.nacks)});
+    stats.add_row({"in-stream serves", std::to_string(result.recovery.in_stream_served)});
+    stats.add_row({"cooperative ops", std::to_string(result.recovery.coop_ops)});
+    stats.add_row({"cooperative successes", std::to_string(result.recovery.coop_success)});
+    stats.add_row({"deadline failures",
+                   std::to_string(result.recovery.coop_deadline_failures)});
+    stats.add_row({"cross batches encoded", std::to_string(result.encoder.cross_batches)});
+    stats.add_row({"in-stream batches encoded", std::to_string(result.encoder.in_batches)});
+    stats.add_row({"coded packets sent", std::to_string(result.encoder.coded_sent)});
+    stats.add_row({"coding overhead (coded/data)",
+                   exp::Table::num(static_cast<double>(result.encoder.coded_sent) /
+                                       static_cast<double>(
+                                           std::max<std::uint64_t>(1,
+                                                                   result.encoder.data_packets)),
+                                   3)});
+    stats.print("CR-WAN deployment counters");
+  }
 
   // ---- (e) straggler-protection ablation: 2 vs 1 coded packets ----
   exp::PlanetlabConfig ab = config;
   ab.num_paths = quick ? 20 : 45;
   if (!quick) ab.duration = minutes(20);
   const Samples increase = exp::run_straggler_ablation(ab);
-  exp::print_cdf("Fig8e % increase in recovery, 2 vs 1 cross-coded packets", increase);
-  exp::print_claim("Fig8e straggler protection",
-                   "60% of paths see >10% improvement with 2 coded packets",
-                   exp::Table::num(100.0 * (1.0 - increase.cdf_at(10.0)), 0) +
-                       "% of paths see >10% improvement");
+  if (!json) {
+    exp::print_cdf("Fig8e % increase in recovery, 2 vs 1 cross-coded packets", increase);
+    exp::print_claim("Fig8e straggler protection",
+                     "60% of paths see >10% improvement with 2 coded packets",
+                     exp::Table::num(100.0 * (1.0 - increase.cdf_at(10.0)), 0) +
+                         "% of paths see >10% improvement");
+  }
+
+  if (json) {
+    bench::JsonRow("fig8_crwan")
+        .add("name", "overall")
+        .add("paths", static_cast<std::uint64_t>(result.paths.size()))
+        .add("overall_recovery", result.overall_recovery)
+        .add("paths_over_80pct", paths_over_80)
+        .add("max_loss_pct", loss_rates.max())
+        .add("outage_path_fraction",
+             static_cast<double>(paths_with_outage) /
+                 static_cast<double>(result.paths.size()))
+        .emit();
+    bench::JsonRow("fig8_crwan")
+        .add("name", "fec_whatif_median_increase_pct")
+        .add("fec20", inc20.median())
+        .add("fec40", inc40.median())
+        .add("fec100", inc100.median())
+        .emit();
+    bench::JsonRow("fig8_crwan")
+        .add("name", "recovery_over_rtt")
+        .add("cdf_05", result.recovery_over_rtt_all.cdf_at(0.5))
+        .emit();
+    bench::JsonRow("fig8_crwan")
+        .add("name", "counters")
+        .add("nacks", result.recovery.nacks)
+        .add("coop_ops", result.recovery.coop_ops)
+        .add("coop_success", result.recovery.coop_success)
+        .add("coded_sent", result.encoder.coded_sent)
+        .add("data_packets", result.encoder.data_packets)
+        .emit();
+    bench::JsonRow("fig8_crwan")
+        .add("name", "straggler_ablation")
+        .add("paths_over_10pct_gain", 1.0 - increase.cdf_at(10.0))
+        .emit();
+  }
   return 0;
 }

@@ -6,8 +6,14 @@
 //   CR-WAN-Mob -- CR-WAN with cellular-grade access latency to the DC
 // plus the Section 6.3 bandwidth accounting (CR-WAN sends ~13% of the
 // bytes forwarding sends across the inter-DC path).
+//
+// Flags: --json emits per-treatment JSON Lines rows (PSNR, bandwidth ratio,
+// simulator events/sec); --quick shrinks the call to a CI smoke preset.
+#include <chrono>
 #include <cstdio>
 #include <unordered_map>
+
+#include "bench_json.h"
 
 #include "app/psnr.h"
 #include "app/video.h"
@@ -28,11 +34,13 @@ struct SkypeRun {
   Samples psnr;
   std::uint64_t inter_dc_bytes = 0;
   std::uint64_t inter_dc_packets = 0;
+  std::uint64_t events = 0;
+  double wall_sec = 0.0;
 };
 
 // One experiment: a video call on a 50 ms one-way path with a 30 s outage
-// in the middle of a 120 s call.
-SkypeRun run_case(ServiceType service, bool mobile_access, std::uint64_t seed) {
+// in the middle of a 120 s call (scaled down under --quick).
+SkypeRun run_case(ServiceType service, bool mobile_access, std::uint64_t seed, bool quick) {
   netsim::Simulator sim;
   netsim::Network net(sim);
   Rng rng(seed);
@@ -75,10 +83,14 @@ SkypeRun run_case(ServiceType service, bool mobile_access, std::uint64_t seed) {
   // Background receivers, one per background flow, near DC2.
   std::vector<std::unique_ptr<endpoint::Receiver>> bg_receivers;
 
-  // Links. Direct path: 50 ms one way with the scripted 30 s outage.
+  const SimDuration call_len = quick ? sec(20) : sec(120);
+  const SimTime outage_start = quick ? sec(8) : sec(45);
+  const SimTime outage_end = quick ? sec(13) : sec(75);
+
+  // Links. Direct path: 50 ms one way with the scripted outage.
   auto outage = netsim::make_scheduled_outages(
       netsim::make_bernoulli_loss(0.002, rng.fork("base-loss")),
-      {{sec(45), sec(75)}});
+      {{outage_start, outage_end}});
   netsim::JitterParams direct_jitter;
   direct_jitter.base = msec(50);
   direct_jitter.jitter_scale_ms = 1.0;
@@ -140,26 +152,31 @@ SkypeRun run_case(ServiceType service, bool mobile_access, std::uint64_t seed) {
   vp.fps = 12.0;
   vp.bitrate_bps = 5e5;
   app::VideoSource video(sim, sender, video_flow, vp, rng.fork("video"));
-  video.start(sec(120));
+  video.start(call_len);
   std::vector<std::unique_ptr<transport::CbrApp>> bg_apps;
   for (std::size_t i = 0; i < bg_receivers.size(); ++i) {
     transport::CbrParams cbr;
-    cbr.on_duration = sec(120);
+    cbr.on_duration = call_len;
     cbr.mean_off = sec(1);
     cbr.packets_per_second = 20.0;  // 20 pps * 1250 B = 200 Kbps.
     cbr.payload_bytes = 1250;
     cbr.initial_skew = msec(3 * (static_cast<int>(i) + 1));
     auto appp = std::make_unique<transport::CbrApp>(
         sim, bg_sender, static_cast<FlowId>(video_flow + 1 + i), cbr, rng.fork("bg"));
-    appp->start(sec(120));
+    appp->start(call_len);
     bg_apps.push_back(std::move(appp));
   }
 
-  sim.run_until(sec(125));
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run_until(call_len + sec(5));
   encoder->flush_all();
-  sim.run_until(sec(130));
+  sim.run_until(call_len + sec(10));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   SkypeRun out;
+  out.events = sim.events_processed();
+  out.wall_sec = wall;
   app::PsnrParams pp;
   pp.playout_deadline = sec(1);  // The call adapts to consistent delay.
   Rng score_rng(seed ^ 0xabcdef);
@@ -199,14 +216,44 @@ SkypeRun run_case(ServiceType service, bool mobile_access, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jqos;
-  std::printf("== Figure 9(a): Skype QoE under a 30 s outage ==\n");
+  const bool json = bench::want_json(argc, argv);
+  const bool quick = bench::want_flag(argc, argv, "--quick");
+  if (!json) std::printf("== Figure 9(a): Skype QoE under a 30 s outage ==\n");
 
-  const SkypeRun internet = run_case(ServiceType::kNone, false, 101);
-  const SkypeRun fwd = run_case(ServiceType::kForward, false, 102);
-  const SkypeRun crwan = run_case(ServiceType::kCode, false, 103);
-  const SkypeRun crwan_mobile = run_case(ServiceType::kCode, true, 104);
+  const SkypeRun internet = run_case(ServiceType::kNone, false, 101, quick);
+  const SkypeRun fwd = run_case(ServiceType::kForward, false, 102, quick);
+  const SkypeRun crwan = run_case(ServiceType::kCode, false, 103, quick);
+  const SkypeRun crwan_mobile = run_case(ServiceType::kCode, true, 104, quick);
+
+  if (json) {
+    const auto row = [](const char* treatment, const SkypeRun& r) {
+      bench::JsonRow("fig9a_skype")
+          .add("name", "treatment")
+          .add("treatment", treatment)
+          .add("psnr_median_db", r.psnr.median())
+          .add("frames_below_30db_pct", r.psnr.cdf_at(30.0) * 100.0)
+          .add("inter_dc_packets", r.inter_dc_packets)
+          .add("inter_dc_bytes", r.inter_dc_bytes)
+          .add("sim_events", r.events)
+          .add("events_per_sec", r.wall_sec > 0 ? static_cast<double>(r.events) / r.wall_sec
+                                                : 0.0)
+          .emit();
+    };
+    row("internet", internet);
+    row("forwarding", fwd);
+    row("crwan", crwan);
+    row("crwan_mobile", crwan_mobile);
+    bench::JsonRow("fig9a_skype")
+        .add("name", "bandwidth_ratio_vs_forwarding")
+        .add("packets_pct", 100.0 * static_cast<double>(crwan.inter_dc_packets) /
+                                static_cast<double>(fwd.inter_dc_packets))
+        .add("bytes_pct", 100.0 * static_cast<double>(crwan.inter_dc_bytes) /
+                              static_cast<double>(fwd.inter_dc_bytes))
+        .emit();
+    return 0;
+  }
 
   exp::print_cdf("Fig9a PSNR, Internet (outage)", internet.psnr);
   exp::print_cdf("Fig9a PSNR, Fwd", fwd.psnr);

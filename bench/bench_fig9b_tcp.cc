@@ -4,10 +4,15 @@
 // without J-QoS, plus the Section 6.4 selective-duplication experiment
 // (SYN-ACK-only duplication).
 //
-// Flags: --requests N (default 2000; the paper uses 10000).
+// Flags: --requests N (default 2000; the paper uses 10000); --quick shrinks
+// to 300 requests; --json emits per-treatment JSON Lines rows (FCT
+// percentiles, tail reduction, simulator events/sec) for CI diffing.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "bench_json.h"
 
 #include "app/web.h"
 #include "exp/report.h"
@@ -24,7 +29,16 @@ using namespace jqos;
 
 enum class Mode { kPlain, kJqosCrwan, kJqosFullForward, kJqosSynAckOnly };
 
-Samples run_case(Mode mode, std::size_t requests, std::uint64_t seed) {
+struct CaseRun {
+  Samples fct_ms;
+  std::size_t completed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t events = 0;
+  double wall_sec = 0.0;
+};
+
+CaseRun run_case(Mode mode, std::size_t requests, std::uint64_t seed) {
   netsim::Simulator sim;
   netsim::Network net(sim);
   Rng rng(seed);
@@ -104,19 +118,24 @@ Samples run_case(Mode mode, std::size_t requests, std::uint64_t seed) {
   params.requests = requests;
   params.response_bytes = 50 * 1000;
   params.request_bytes = 12;
+  const auto wall_start = std::chrono::steady_clock::now();
   const app::WebResult result =
       app::run_web_workload(net, server, client, sessions, req, params);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   std::fprintf(stderr, "  [mode %d] completed=%zu timeouts=%llu retransmits=%llu\n",
                static_cast<int>(mode), result.completed,
                static_cast<unsigned long long>(result.server.timeouts),
                static_cast<unsigned long long>(result.server.retransmits));
-  return result.fct_ms;
+  return {result.fct_ms, result.completed, result.server.timeouts,
+          result.server.retransmits, sim.events_processed(), wall};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace jqos;
+  const bool json = bench::want_json(argc, argv);
   std::size_t requests = 2000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
@@ -124,32 +143,40 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--quick") == 0) requests = 300;
   }
-  std::printf("== Figure 9(b): TCP FCT under bursty loss (%zu requests) ==\n", requests);
+  if (!json) {
+    std::printf("== Figure 9(b): TCP FCT under bursty loss (%zu requests) ==\n", requests);
+  }
 
-  const Samples plain = run_case(Mode::kPlain, requests, 1);
-  const Samples jqos = run_case(Mode::kJqosCrwan, requests, 1);
-  const Samples fulldup = run_case(Mode::kJqosFullForward, requests, 1);
-  const Samples synack = run_case(Mode::kJqosSynAckOnly, requests, 1);
+  const CaseRun plain_run = run_case(Mode::kPlain, requests, 1);
+  const CaseRun jqos_run = run_case(Mode::kJqosCrwan, requests, 1);
+  const CaseRun fulldup_run = run_case(Mode::kJqosFullForward, requests, 1);
+  const CaseRun synack_run = run_case(Mode::kJqosSynAckOnly, requests, 1);
+  const Samples& plain = plain_run.fct_ms;
+  const Samples& jqos = jqos_run.fct_ms;
+  const Samples& fulldup = fulldup_run.fct_ms;
+  const Samples& synack = synack_run.fct_ms;
 
-  exp::print_cdf("Fig9b FCT (ms), Internet", plain, 40);
-  exp::print_cdf("Fig9b FCT (ms), TCP over J-QoS (CR-WAN)", jqos, 40);
-  exp::print_cdf("Fig9b FCT (ms), J-QoS full duplication", fulldup, 40);
-  exp::print_cdf("Fig9b FCT (ms), J-QoS SYN-ACK-only duplication", synack, 40);
+  if (!json) exp::print_cdf("Fig9b FCT (ms), Internet", plain, 40);
+  if (!json) {
+    exp::print_cdf("Fig9b FCT (ms), TCP over J-QoS (CR-WAN)", jqos, 40);
+    exp::print_cdf("Fig9b FCT (ms), J-QoS full duplication", fulldup, 40);
+    exp::print_cdf("Fig9b FCT (ms), J-QoS SYN-ACK-only duplication", synack, 40);
 
-  exp::Table t({"treatment", "p50 (ms)", "p95 (ms)", "p99 (ms)", "p99.9 (ms)", "max (ms)"});
-  auto row = [&t](const char* name, const Samples& s) {
-    t.add_row({name, exp::Table::num(s.percentile(50), 0),
-               exp::Table::num(s.percentile(95), 0), exp::Table::num(s.percentile(99), 0),
-               exp::Table::num(s.percentile(99.9), 0), exp::Table::num(s.max(), 0)});
-  };
-  row("Internet", plain);
-  row("J-QoS (CR-WAN)", jqos);
-  row("J-QoS (full dup)", fulldup);
-  row("J-QoS (SYN-ACK only)", synack);
-  t.print("Fig9b flow completion time tail");
+    exp::Table t({"treatment", "p50 (ms)", "p95 (ms)", "p99 (ms)", "p99.9 (ms)", "max (ms)"});
+    auto row = [&t](const char* name, const Samples& s) {
+      t.add_row({name, exp::Table::num(s.percentile(50), 0),
+                 exp::Table::num(s.percentile(95), 0), exp::Table::num(s.percentile(99), 0),
+                 exp::Table::num(s.percentile(99.9), 0), exp::Table::num(s.max(), 0)});
+    };
+    row("Internet", plain);
+    row("J-QoS (CR-WAN)", jqos);
+    row("J-QoS (full dup)", fulldup);
+    row("J-QoS (SYN-ACK only)", synack);
+    t.print("Fig9b flow completion time tail");
 
-  exp::print_claim("Fig9b long Internet tail", "tail reaches multiple seconds (~9 s)",
-                   "Internet max = " + exp::Table::num(plain.max() / 1000.0, 1) + " s");
+    exp::print_claim("Fig9b long Internet tail", "tail reaches multiple seconds (~9 s)",
+                     "Internet max = " + exp::Table::num(plain.max() / 1000.0, 1) + " s");
+  }
   // The losses J-QoS prevents are timeout chains, which live in the tail;
   // single percentiles are noisy there, so compare the conditional tail
   // expectation (mean FCT of the slowest 5% of transfers).
@@ -169,6 +196,31 @@ int main(int argc, char** argv) {
   const double crwan_cut = 100.0 * (1.0 - tail_mean(jqos) / plain_tail);
   const double full_cut = 100.0 * (1.0 - tail_mean(fulldup) / plain_tail);
   const double synack_cut = 100.0 * (1.0 - tail_mean(synack) / plain_tail);
+  if (json) {
+    const auto emit = [&](const char* treatment, const CaseRun& r, double tail_cut) {
+      bench::JsonRow("fig9b_tcp")
+          .add("name", "treatment")
+          .add("treatment", treatment)
+          .add("requests", static_cast<std::uint64_t>(requests))
+          .add("completed", static_cast<std::uint64_t>(r.completed))
+          .add("p50_ms", r.fct_ms.percentile(50))
+          .add("p95_ms", r.fct_ms.percentile(95))
+          .add("p99_ms", r.fct_ms.percentile(99))
+          .add("max_ms", r.fct_ms.max())
+          .add("tail_mean_reduction_pct", tail_cut)
+          .add("timeouts", r.timeouts)
+          .add("retransmits", r.retransmits)
+          .add("sim_events", r.events)
+          .add("events_per_sec",
+               r.wall_sec > 0 ? static_cast<double>(r.events) / r.wall_sec : 0.0)
+          .emit();
+    };
+    emit("internet", plain_run, 0.0);
+    emit("crwan", jqos_run, crwan_cut);
+    emit("full_dup", fulldup_run, full_cut);
+    emit("synack_only", synack_run, synack_cut);
+    return 0;
+  }
   exp::print_claim("Fig9b J-QoS reduces tail", "J-QoS (CR-WAN) cuts the FCT tail",
                    "tail-mean (slowest 5%) reduction = " + exp::Table::num(crwan_cut, 0) + "%");
   exp::print_claim("Sec6.4 full duplication", "~83% tail reduction",

@@ -23,13 +23,16 @@
 
 namespace jqos::bench {
 
-// True when "--json" appears among the command-line arguments.
-inline bool want_json(int argc, char** argv) {
+// True when `flag` appears among the command-line arguments.
+inline bool want_flag(int argc, char** argv, std::string_view flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") return true;
+    if (std::string_view(argv[i]) == flag) return true;
   }
   return false;
 }
+
+// True when "--json" appears among the command-line arguments.
+inline bool want_json(int argc, char** argv) { return want_flag(argc, argv, "--json"); }
 
 // Builder for one JSON Lines row. Fields appear in insertion order; emit()
 // prints the closed object plus a newline and may be called once.

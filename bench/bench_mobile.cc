@@ -1,20 +1,38 @@
 // Section 6.5 reproduction: mobile-network feasibility of CR-WAN --
 // duplication bandwidth vs LTE uplinks, battery overhead, cellular RTTs to
 // the cloud, and recovery feasibility.
+// Flags: --json emits the feasibility checks as one JSON Lines row.
 #include <cstdio>
 
 #include "app/mobile.h"
+#include "bench_json.h"
 #include "exp/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jqos;
-  std::printf("== Section 6.5: J-QoS on mobile networks ==\n");
+  const bool json = bench::want_json(argc, argv);
+  if (!json) std::printf("== Section 6.5: J-QoS on mobile networks ==\n");
 
   app::MobileParams params;
   Rng rng(2020);
   const app::MobileFeasibility f = app::evaluate_mobile(params, rng);
 
   const Samples rtts = app::mobile_rtt_samples(params, rng, 1000);
+  if (json) {
+    bench::JsonRow("mobile")
+        .add("name", "feasibility")
+        .add("dup_bitrate_mbps", f.dup_bitrate_mbps)
+        .add("fits_typical_uplink", static_cast<std::int64_t>(f.dup_fits_typical_uplink))
+        .add("fits_good_uplink", static_cast<std::int64_t>(f.dup_fits_good_uplink))
+        .add("battery_overhead_pct", f.battery_overhead_percent)
+        .add("rtt_p50_ms", f.rtt_p50_ms)
+        .add("rtt_p90_ms", f.rtt_p90_ms)
+        .add("recovery_latency_ms", f.recovery_latency_ms)
+        .add("recovery_feasible_interactive",
+             static_cast<std::int64_t>(f.recovery_feasible_interactive))
+        .emit();
+    return 0;
+  }
   exp::print_cdf("cellular RTT to cloud providers (ms)", rtts);
 
   exp::Table t({"check", "paper", "measured/model"});

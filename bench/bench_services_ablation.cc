@@ -7,8 +7,12 @@
 // (packets ride the overlay); caching ~ cost c with fast pulls; coding ~
 // a fraction of c with slightly slower cooperative recovery; Internet-only
 // ~ free but lossy. "Judicious QoS" is the region between them.
+//
+// Flags: --json emits one JSON Lines row per service; --quick shrinks the
+// simulated duration to a CI smoke preset.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
 
@@ -25,7 +29,7 @@ struct Row {
                                // (the quantity the cloud bills).
 };
 
-Row run_service(const char* name, ServiceType service, std::uint64_t seed) {
+Row run_service(const char* name, ServiceType service, std::uint64_t seed, bool quick) {
   Rng prng(seed);
   auto paths = geo::planetlab_paths(20, prng);
   // One DC pair so the coding groups reach full k (the paper's DCs each
@@ -40,12 +44,12 @@ Row run_service(const char* name, ServiceType service, std::uint64_t seed) {
   params.seed = seed;
   params.coding.k = 10;
   params.coding.queue_timeout = msec(300);
-  params.cbr.on_duration = minutes(1);
-  params.cbr.mean_off = sec(45);
+  params.cbr.on_duration = quick ? sec(20) : minutes(1);
+  params.cbr.mean_off = quick ? sec(15) : sec(45);
   params.cbr.packets_per_second = 25.0;
   params.cbr.payload_bytes = 512;
   exp::WanScenario scenario(std::move(paths), params);
-  scenario.run(minutes(10));
+  scenario.run(quick ? minutes(2) : minutes(10));
 
   Row row;
   row.name = name;
@@ -79,14 +83,36 @@ Row run_service(const char* name, ServiceType service, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jqos;
-  std::printf("== Service ablation: the Figure 1/2 cost-vs-QoS spectrum, measured ==\n");
+  const bool json = bench::want_json(argc, argv);
+  const bool quick = bench::want_flag(argc, argv, "--quick");
+  if (!json) {
+    std::printf("== Service ablation: the Figure 1/2 cost-vs-QoS spectrum, measured ==\n");
+  }
 
-  const Row internet = run_service("internet-only", ServiceType::kNone, 77);
-  const Row coding = run_service("coding (CR-WAN)", ServiceType::kCode, 77);
-  const Row caching = run_service("caching", ServiceType::kCache, 77);
-  const Row forwarding = run_service("forwarding", ServiceType::kForward, 77);
+  const Row internet = run_service("internet-only", ServiceType::kNone, 77, quick);
+  const Row coding = run_service("coding (CR-WAN)", ServiceType::kCode, 77, quick);
+  const Row caching = run_service("caching", ServiceType::kCache, 77, quick);
+  const Row forwarding = run_service("forwarding", ServiceType::kForward, 77, quick);
+
+  if (json) {
+    const auto emit = [](const char* service, const Row& r) {
+      bench::JsonRow("services_ablation")
+          .add("name", "service")
+          .add("service", service)
+          .add("delivery", r.delivery)
+          .add("recovery", r.recovery)
+          .add("recovery_p90_ms", r.recovery_p90_ms)
+          .add("egress_bytes_per_delivered_kb", r.egress_per_kb)
+          .emit();
+    };
+    emit("internet", internet);
+    emit("coding", coding);
+    emit("caching", caching);
+    emit("forwarding", forwarding);
+    return 0;
+  }
 
   exp::Table t({"service", "delivery %", "loss recovery %", "recovery p90 (ms)",
                 "DC egress bytes / delivered KB"});

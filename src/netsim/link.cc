@@ -1,6 +1,7 @@
 #include "netsim/link.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace jqos::netsim {
 
@@ -14,14 +15,14 @@ Link::Link(Simulator& sim, NodeId from, NodeId to, LatencyModelPtr latency, Loss
       bandwidth_bps_(bandwidth_bps),
       preserve_order_(preserve_order) {}
 
-void Link::send(const PacketPtr& pkt, DeliverFn deliver) {
+SimTime Link::admit(const PacketPtr& pkt) {
   const std::size_t bytes = pkt->wire_size();
   ++stats_.offered_packets;
   stats_.offered_bytes += bytes;
 
   if (loss_->should_drop(sim_.now())) {
     ++stats_.dropped_packets;
-    return;
+    return -1;
   }
 
   SimTime depart = sim_.now();
@@ -40,7 +41,22 @@ void Link::send(const PacketPtr& pkt, DeliverFn deliver) {
   }
   ++stats_.delivered_packets;
   stats_.delivered_bytes += bytes;
+  return arrive;
+}
+
+void Link::send(const PacketPtr& pkt, DeliverFn deliver) {
+  const SimTime arrive = admit(pkt);
+  if (arrive < 0) return;
   sim_.at(arrive, [pkt, deliver = std::move(deliver)] { deliver(pkt); });
+}
+
+void Link::send(const PacketPtr& pkt) {
+  assert(deliver_ && "Link::send(pkt) requires set_deliver()");
+  const SimTime arrive = admit(pkt);
+  if (arrive < 0) return;
+  // (this, pkt) is 24 bytes: well inside EventFn's inline buffer, and no
+  // std::function is copied on the per-packet path.
+  sim_.at(arrive, [this, pkt] { deliver_(pkt); });
 }
 
 }  // namespace jqos::netsim

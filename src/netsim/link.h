@@ -47,6 +47,13 @@ class Link {
   // delivered to `deliver` after serialization + queueing + propagation.
   void send(const PacketPtr& pkt, DeliverFn deliver);
 
+  // Hot-path variant: delivers to the sink registered with set_deliver().
+  // Network registers its node-dispatch sink once per link so the per-packet
+  // path schedules a small (this, pkt) closure instead of copying a
+  // std::function into every event.
+  void send(const PacketPtr& pkt);
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
   NodeId from() const { return from_; }
   NodeId to() const { return to_; }
   const LinkStats& stats() const { return stats_; }
@@ -65,7 +72,13 @@ class Link {
   SimTime tx_free_at_ = 0;
   // Latest arrival scheduled so far; used to prevent reordering.
   SimTime last_arrival_ = 0;
+  // Registered delivery sink for the zero-argument send().
+  DeliverFn deliver_;
   LinkStats stats_;
+
+  // Computes the arrival time for a packet offered now, or -1 if the loss
+  // process drops it; updates queueing/ordering state and stats.
+  SimTime admit(const PacketPtr& pkt);
 };
 
 }  // namespace jqos::netsim

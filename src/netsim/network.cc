@@ -11,6 +11,17 @@ Link& Network::add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossMod
   auto link = std::make_unique<Link>(sim_, from, to, std::move(latency), std::move(loss),
                                      bandwidth_bps, preserve_order);
   Link& ref = *link;
+  // One dispatch closure per link, registered up front: the per-packet send
+  // below then schedules a small inline event instead of rebuilding (and
+  // copying) a std::function for every packet offered to the fabric.
+  ref.set_deliver([this, to](const PacketPtr& delivered) {
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) {
+      ++routing_failures_;
+      return;
+    }
+    it->second->handle_packet(delivered);
+  });
   links_[{from, to}] = std::move(link);
   return ref;
 }
@@ -22,14 +33,7 @@ void Network::send(NodeId from, const PacketPtr& pkt) {
     JQOS_WARN("no link " << from << " -> " << pkt->dst << " for " << to_string(pkt->type));
     return;
   }
-  l->send(pkt, [this, dst = pkt->dst](const PacketPtr& delivered) {
-    auto it = nodes_.find(dst);
-    if (it == nodes_.end()) {
-      ++routing_failures_;
-      return;
-    }
-    it->second->handle_packet(delivered);
-  });
+  l->send(pkt);
 }
 
 Link* Network::link(NodeId from, NodeId to) {

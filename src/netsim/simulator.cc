@@ -1,5 +1,6 @@
 #include "netsim/simulator.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace jqos::netsim {
@@ -15,21 +16,21 @@ EventId Simulator::after(SimDuration d, EventFn fn) {
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    auto [at, fn] = queue_.pop();
+  // One drain call empties the queue: events scheduled by handlers during
+  // the drain (always >= now_) are picked up by the same batched loop.
+  queue_.drain(std::numeric_limits<SimTime>::max(), [this](SimTime at, EventFn&& fn) {
     now_ = at;
     ++processed_;
     fn();
-  }
+  });
 }
 
 void Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    auto [at, fn] = queue_.pop();
+  queue_.drain(deadline, [this](SimTime at, EventFn&& fn) {
     now_ = at;
     ++processed_;
     fn();
-  }
+  });
   if (now_ < deadline) now_ = deadline;
 }
 

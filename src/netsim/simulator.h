@@ -4,6 +4,13 @@
 // queue timers, NACK timers, application send loops -- is an event on this
 // single queue, mirroring how the real prototype multiplexes timers on one
 // event loop per process.
+//
+// run()/run_until() drain the queue through EventQueue::drain, so with the
+// ladder backend (the default) the dispatch loop serves whole pre-sorted
+// rungs of events instead of paying a heap reheapify per event -- the change
+// that lets figure sweeps run millions of simulated packets. Construct with
+// an explicit EvqBackend (or set JQOS_EVQ_BACKEND) to pin the backend; the
+// retained binary heap is the differential-testing reference.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,9 @@ namespace jqos::netsim {
 
 class Simulator {
  public:
+  Simulator() = default;
+  explicit Simulator(EvqBackend backend) : queue_(backend) {}
+
   SimTime now() const { return now_; }
 
   // Schedules at an absolute simulated time (must be >= now()).
@@ -35,6 +45,11 @@ class Simulator {
 
   bool idle() const { return queue_.empty(); }
   std::uint64_t events_processed() const { return processed_; }
+  EvqBackend backend() const { return queue_.backend(); }
+
+  // Direct queue access for benches and introspection (slab high-water,
+  // batched pop_ready experiments); scheduling should go through at/after.
+  EventQueue& queue() { return queue_; }
 
  private:
   EventQueue queue_;

@@ -15,27 +15,106 @@
 namespace jqos::netsim {
 namespace {
 
+constexpr EvqBackend kBackends[] = {EvqBackend::kHeap, EvqBackend::kLadder};
+
 TEST(EventQueue, FifoWithinSameTimestamp) {
-  EventQueue q;
-  std::vector<int> order;
-  q.push(100, [&] { order.push_back(1); });
-  q.push(100, [&] { order.push_back(2); });
-  q.push(50, [&] { order.push_back(0); });
-  while (!q.empty()) q.pop().fn();
-  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  for (EvqBackend b : kBackends) {
+    EventQueue q(b);
+    std::vector<int> order;
+    q.push(100, [&] { order.push_back(1); });
+    q.push(100, [&] { order.push_back(2); });
+    q.push(50, [&] { order.push_back(0); });
+    while (!q.empty()) q.pop().fn();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2})) << evq_backend_name(b);
+  }
 }
 
 TEST(EventQueue, CancelIsLazyAndSafe) {
-  EventQueue q;
-  int fired = 0;
-  const EventId a = q.push(10, [&] { ++fired; });
-  q.push(20, [&] { ++fired; });
-  q.cancel(a);
-  q.cancel(a);      // Double cancel: no-op.
-  q.cancel(12345);  // Unknown id: no-op.
-  EXPECT_EQ(q.size(), 1u);
-  while (!q.empty()) q.pop().fn();
-  EXPECT_EQ(fired, 1);
+  for (EvqBackend b : kBackends) {
+    EventQueue q(b);
+    int fired = 0;
+    const EventId a = q.push(10, [&] { ++fired; });
+    q.push(20, [&] { ++fired; });
+    q.cancel(a);
+    q.cancel(a);      // Double cancel: no-op.
+    q.cancel(12345);  // Unknown id: no-op.
+    EXPECT_EQ(q.size(), 1u) << evq_backend_name(b);
+    while (!q.empty()) q.pop().fn();
+    EXPECT_EQ(fired, 1) << evq_backend_name(b);
+  }
+}
+
+TEST(EventQueue, CancelOfFiredIdIsNoOpEvenAfterSlotReuse) {
+  for (EvqBackend b : kBackends) {
+    EventQueue q(b);
+    int first = 0, second = 0;
+    const EventId a = q.push(10, [&] { ++first; });
+    q.pop().fn();
+    // The slot is recycled for a new event; the stale id must not touch it.
+    q.push(20, [&] { ++second; });
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u) << evq_backend_name(b);
+    while (!q.empty()) q.pop().fn();
+    EXPECT_EQ(first, 1) << evq_backend_name(b);
+    EXPECT_EQ(second, 1) << evq_backend_name(b);
+  }
+}
+
+TEST(EventQueue, PopReadyBatchesByHorizon) {
+  for (EvqBackend b : kBackends) {
+    EventQueue q(b);
+    std::vector<int> order;
+    q.push(30, [&] { order.push_back(3); });
+    q.push(10, [&] { order.push_back(0); });
+    q.push(20, [&] { order.push_back(2); });
+    q.push(10, [&] { order.push_back(1); });
+    std::vector<EventQueue::Fired> batch;
+    EXPECT_EQ(q.pop_ready(20, batch), 3u) << evq_backend_name(b);
+    for (auto& f : batch) f.fn();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2})) << evq_backend_name(b);
+    EXPECT_EQ(q.size(), 1u) << evq_backend_name(b);
+    EXPECT_EQ(q.next_time(), 30) << evq_backend_name(b);
+  }
+}
+
+TEST(EventQueue, DrainPicksUpEventsPushedAndCancelledMidBatch) {
+  for (EvqBackend b : kBackends) {
+    EventQueue q(b);
+    std::vector<int> order;
+    // Event 0 (t=10) pushes a same-time event and one past the horizon, and
+    // cancels event 2 (t=10, already queued behind it).
+    EventId doomed = 0;
+    q.push(10, [&] {
+      order.push_back(0);
+      q.push(10, [&] { order.push_back(9); });  // Fires within this drain.
+      q.push(99, [&] { order.push_back(4); });  // Beyond the horizon.
+      q.cancel(doomed);
+    });
+    q.push(10, [&] { order.push_back(1); });
+    doomed = q.push(10, [&] { order.push_back(2); });
+    const std::size_t fired = q.drain(50, [](SimTime, EventFn&& fn) { fn(); });
+    EXPECT_EQ(fired, 3u) << evq_backend_name(b);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 9})) << evq_backend_name(b);
+    EXPECT_EQ(q.size(), 1u) << evq_backend_name(b);
+  }
+}
+
+TEST(EventQueue, SlabIsBoundedByLiveEventsNotTotalPushed) {
+  for (EvqBackend b : kBackends) {
+    EventQueue q(b);
+    Rng rng(7);
+    constexpr std::size_t kLive = 256;
+    SimTime now = 0;
+    for (std::size_t i = 0; i < kLive; ++i) q.push(rng.uniform_int(0, 10000), [] {});
+    // 100k fired events through a slab that should never outgrow ~kLive.
+    for (int i = 0; i < 100000; ++i) {
+      auto fired = q.pop();
+      now = fired.at;
+      q.push(now + rng.uniform_int(0, 10000), [] {});
+    }
+    EXPECT_EQ(q.size(), kLive) << evq_backend_name(b);
+    EXPECT_LE(q.slab_slots(), 2 * kLive) << evq_backend_name(b);
+  }
 }
 
 TEST(Simulator, ClockAdvancesWithEvents) {

@@ -258,7 +258,7 @@ void Receiver::try_self_decode(FlowId flow, FlowState& fs, std::uint32_t batch_i
   }
   if (wanted.empty()) return;  // Nothing we still need from this batch.
 
-  auto recovered = fec::decode_batch(meta, present, bit->second);
+  auto recovered = fec::decode_batch(decode_arena_, meta, present, bit->second);
   if (!recovered) return;  // Not enough symbols yet; keep the coded packets.
 
   for (const auto& rp : *recovered) {

@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "endpoint/markov_detector.h"
+#include "fec/coded_batch.h"
 #include "netsim/network.h"
 
 namespace jqos::endpoint {
@@ -191,6 +192,9 @@ class Receiver final : public netsim::Node {
   ReceiverStats stats_;
   Samples recovery_delay_ms_;
   Samples direct_delay_ms_;
+  // Reused scratch for in-stream self-decodes (fec::decode_batch arena
+  // overload): sized by the largest batch seen, recycled across decodes.
+  fec::ShardArena decode_arena_;
 };
 
 }  // namespace jqos::endpoint

@@ -1,6 +1,7 @@
 #include "fec/coded_batch.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -61,6 +62,30 @@ std::vector<std::uint8_t> unframe_shard(std::span<const std::uint8_t> shard) {
 
 std::size_t shard_length(std::size_t max_payload) { return max_payload + kLenPrefix; }
 
+void ShardArena::layout(std::size_t count, std::size_t shard_len) {
+  stride_ = (shard_len + kAlignment - 1) / kAlignment * kAlignment;
+  shard_len_ = shard_len;
+  padded_len_ = std::min(stride_, (shard_len + kKernelStep - 1) / kKernelStep * kKernelStep);
+  count_ = count;
+  const std::size_t need = count * stride_ + kAlignment;
+  if (buf_.size() < need) buf_.resize(need);
+  const auto addr = reinterpret_cast<std::uintptr_t>(buf_.data());
+  const std::uintptr_t aligned = (addr + kAlignment - 1) / kAlignment * kAlignment;
+  base_ = buf_.data() + (aligned - addr);
+}
+
+void ShardArena::frame_shard_into(std::size_t i, std::span<const std::uint8_t> payload) {
+  std::uint8_t* shard_ptr = shard(i);
+  shard_ptr[0] = static_cast<std::uint8_t>(payload.size() >> 8);
+  shard_ptr[1] = static_cast<std::uint8_t>(payload.size() & 0xff);
+  if (!payload.empty()) std::memcpy(shard_ptr + kLenPrefix, payload.data(), payload.size());
+  // Zero only the pad (through padded_len, so kernels can run tail-free):
+  // the arena is recycled across batches, so bytes past the payload may
+  // hold the previous batch's data.
+  const std::size_t used = kLenPrefix + payload.size();
+  if (used < padded_len_) std::memset(shard_ptr + used, 0, padded_len_ - used);
+}
+
 std::vector<PacketPtr> encode_batch(std::span<const PacketPtr> data,
                                     std::size_t num_coded, PacketType coded_type,
                                     std::uint32_t batch_id, NodeId src, NodeId dst,
@@ -71,6 +96,11 @@ std::vector<PacketPtr> encode_batch(std::span<const PacketPtr> data,
   }
   std::size_t max_payload = 0;
   for (const PacketPtr& p : data) max_payload = std::max(max_payload, p->payload.size());
+  if (max_payload > 0xffff) {
+    // The u16 length prefix cannot frame it; truncating would corrupt
+    // every recovery of the batch.
+    throw std::invalid_argument("encode_batch: payload exceeds 65535 bytes");
+  }
   const std::size_t len = shard_length(max_payload);
 
   std::vector<std::vector<std::uint8_t>> shards;
@@ -112,8 +142,80 @@ std::vector<PacketPtr> encode_batch(std::span<const PacketPtr> data,
   return out;
 }
 
+void BatchEncoder::encode_into(std::span<const PacketPtr> data, std::size_t num_coded,
+                               PacketType coded_type, std::uint32_t batch_id, NodeId src,
+                               NodeId dst, SimTime now, std::vector<PacketPtr>& out) {
+  if (data.empty()) throw std::invalid_argument("BatchEncoder::encode_into: empty batch");
+  if (data.size() + num_coded > 255) {
+    throw std::invalid_argument("BatchEncoder::encode_into: batch too large for GF(256)");
+  }
+  const std::size_t k = data.size();
+  std::size_t max_payload = 0;
+  for (const PacketPtr& p : data) max_payload = std::max(max_payload, p->payload.size());
+  if (max_payload > 0xffff) {
+    throw std::invalid_argument(
+        "BatchEncoder::encode_into: payload exceeds 65535 bytes");
+  }
+  const std::size_t len = shard_length(max_payload);
+
+  // Frame all k shards into the reused arena: one memcpy per payload, zero
+  // pad only, no allocation once the arena reaches its high-water size.
+  arena_.layout(k, len);
+  for (std::size_t i = 0; i < k; ++i) arena_.frame_shard_into(i, data[i]->payload);
+
+  if (codec_ == nullptr || codec_->k() != k || codec_->r() != num_coded) {
+    codec_ = shared_codec(k, num_coded);
+  }
+
+  if (num_coded == 0) return;
+
+  // Create the coded packets up front so parity is computed directly into
+  // their payload buffers — the arena-to-packet copy of the legacy path
+  // disappears. The batch's packets share one slab allocation (aliasing
+  // shared_ptrs into a make_shared array): one control block for all r
+  // outputs instead of one per packet. The r packets of a batch travel and
+  // die together in practice, so the coupled storage lifetime costs nothing.
+  out.reserve(out.size() + num_coded);
+  parity_ptrs_.clear();
+  auto slab = std::make_shared<Packet[]>(num_coded);
+  for (std::size_t i = 0; i < num_coded; ++i) {
+    Packet& pkt = slab[i];
+    pkt.type = coded_type;
+    // Same field conventions as encode_batch (see comment there).
+    pkt.flow = 0;
+    pkt.seq = batch_id;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.sent_at = now;
+    auto& m = pkt.meta.emplace();
+    m.batch_id = batch_id;
+    m.index = static_cast<std::uint8_t>(k + i);
+    m.k = static_cast<std::uint8_t>(k);
+    m.r = static_cast<std::uint8_t>(num_coded);
+    m.covered.reserve(k);
+    for (const PacketPtr& p : data) m.covered.push_back(p->key());
+    pkt.payload.resize(arena_.padded_len());
+    parity_ptrs_.push_back(pkt.payload.data());
+    out.push_back(PacketPtr(slab, &pkt));
+  }
+  // Run the kernels over the zero-padded length — whole SIMD steps, no
+  // scalar tails — then trim each payload to the true shard length (the
+  // trimmed bytes are parity over zeros, i.e. zero).
+  codec_->encode_into(arena_.data(), arena_.stride(), arena_.padded_len(),
+                      parity_ptrs_.data());
+  for (std::size_t i = 0; i < num_coded; ++i) slab[i].payload.resize(len);
+}
+
 std::optional<std::vector<RecoveredPacket>> decode_batch(
     const CodedMeta& meta,
+    std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> present_data,
+    std::span<const PacketPtr> coded) {
+  ShardArena arena;
+  return decode_batch(arena, meta, present_data, coded);
+}
+
+std::optional<std::vector<RecoveredPacket>> decode_batch(
+    ShardArena& arena, const CodedMeta& meta,
     std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> present_data,
     std::span<const PacketPtr> coded) {
   const std::size_t k = meta.k;
@@ -126,17 +228,22 @@ std::optional<std::vector<RecoveredPacket>> decode_batch(
   for (const PacketPtr& c : coded) len = std::max(len, c->payload.size());
   if (len == 0) return std::nullopt;
 
-  // Re-frame the present data packets to shards and collect decode inputs.
-  std::vector<std::vector<std::uint8_t>> framed;
-  framed.reserve(present_data.size());
-  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> inputs;
+  // Arena plan: framed present shards first, then one output slot per
+  // missing position. Present and missing positions are complementary
+  // subsets of [0, k), so k slots cover both. Coded payloads are read in
+  // place from the stored packets.
+  arena.layout(k, len);
+
+  std::vector<std::pair<std::size_t, const std::uint8_t*>> inputs;
   inputs.reserve(k);
   std::vector<bool> have(k, false);
+  std::size_t framed = 0;
   for (const auto& [pos, payload] : present_data) {
     if (pos >= k || have[pos]) continue;
-    if (payload.size() + 2 > len) return std::nullopt;  // Inconsistent batch.
-    framed.push_back(frame_shard(payload, len));
-    inputs.emplace_back(pos, std::span<const std::uint8_t>(framed.back()));
+    if (payload.size() + kLenPrefix > len) return std::nullopt;  // Inconsistent batch.
+    arena.frame_shard_into(framed, payload);
+    inputs.emplace_back(pos, arena.shard(framed));
+    ++framed;
     have[pos] = true;
   }
   std::vector<bool> have_coded(static_cast<std::size_t>(k) + meta.r, false);
@@ -147,21 +254,31 @@ std::optional<std::vector<RecoveredPacket>> decode_batch(
     if (c->payload.size() != len) continue;
     if (have_coded[c->meta->index]) continue;  // Duplicate delivery.
     have_coded[c->meta->index] = true;
-    inputs.emplace_back(c->meta->index, std::span<const std::uint8_t>(c->payload));
+    inputs.emplace_back(c->meta->index, c->payload.data());
   }
   if (inputs.size() < k) return std::nullopt;
 
-  const auto rs = shared_codec(k, meta.r);
-  auto decoded = rs->decode(inputs);
-  if (!decoded) return std::nullopt;
-
-  std::vector<RecoveredPacket> out;
+  // Reconstruct only the missing positions, straight into arena slots.
+  std::vector<std::size_t> targets;
+  std::vector<std::uint8_t*> outs;
+  targets.reserve(k);
+  outs.reserve(k);
   for (std::size_t pos = 0; pos < k; ++pos) {
     if (have[pos]) continue;  // Caller already has it.
+    targets.push_back(pos);
+    outs.push_back(arena.shard(framed + targets.size() - 1));
+  }
+
+  const auto rs = shared_codec(k, meta.r);
+  if (!rs->decode_into(inputs, len, targets, outs.data())) return std::nullopt;
+
+  std::vector<RecoveredPacket> out;
+  out.reserve(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
     RecoveredPacket rp;
-    rp.position = pos;
-    rp.key = meta.covered[pos];
-    rp.payload = unframe_shard((*decoded)[pos]);
+    rp.position = targets[t];
+    rp.key = meta.covered[targets[t]];
+    rp.payload = unframe_shard(std::span<const std::uint8_t>(outs[t], len));
     out.push_back(std::move(rp));
   }
   return out;

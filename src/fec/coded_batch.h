@@ -10,9 +10,22 @@
 // exact original payload. It also builds the CodedMeta carried in coded
 // packets (batch id, codeword index, covered (flow, seq) keys) that DC2 and
 // the cooperative-recovery protocol consume.
+//
+// Two encode paths exist:
+//
+//  * encode_batch — the original allocation-per-shard reference path. Kept
+//    as the behavioral baseline: the zero-copy path is differentially
+//    tested against it byte-for-byte, and simple call sites (tests, one-off
+//    batches) keep using it.
+//  * BatchEncoder::encode_into — the production hot path. All k shards are
+//    framed into one reusable stride-aligned arena allocation and the SIMD
+//    kernels write parity straight into the coded packets' payload buffers;
+//    steady state performs no allocation beyond the output packets
+//    themselves. See docs/CODING_PIPELINE.md for the full contract.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -22,15 +35,125 @@
 
 namespace jqos::fec {
 
+// Reusable scratch storage that frames a batch's shards into one contiguous
+// allocation, each shard starting on a kAlignment boundary (stride =
+// shard_len rounded up to kAlignment) so the SIMD GF(256) kernels read and
+// write aligned lines.
+//
+// Ownership/lifetime: the arena owns its buffer; pointers returned by
+// shard()/data() are valid until the next layout() call that grows the
+// buffer, and are invalidated by move/destruction. The buffer only ever
+// grows, so a long-lived arena (one per encoder service instance) reaches
+// its high-water size once and then recycles it for every later batch.
+// Not thread-safe; use one arena per thread.
+class ShardArena {
+ public:
+  ShardArena() = default;
+  // Copying would leave the copy's base pointer aimed at the source's
+  // buffer (corruption, or use-after-free once the source dies). Moves are
+  // safe: vector move preserves the data pointer base_ was derived from.
+  ShardArena(const ShardArena&) = delete;
+  ShardArena& operator=(const ShardArena&) = delete;
+  ShardArena(ShardArena&&) = default;
+  ShardArena& operator=(ShardArena&&) = default;
+
+  // Alignment of every shard start. 64 covers the AVX2 kernels' 32-byte
+  // step and keeps each shard cache-line aligned.
+  static constexpr std::size_t kAlignment = 64;
+
+  // Shards are zero-padded past shard_len up to padded_len() — shard_len
+  // rounded up to one SIMD step — so kernels can run whole 32-byte steps
+  // with no scalar tail; the extra parity bytes come out zero and are
+  // trimmed by the caller.
+  static constexpr std::size_t kKernelStep = 32;
+
+  // Lays the arena out for `count` shards of `shard_len` bytes. Reuses the
+  // existing allocation when it is large enough (the steady-state case);
+  // otherwise reallocates, invalidating previously returned pointers.
+  // Shard contents are NOT cleared — frame_shard_into overwrites prefix,
+  // payload, and pad explicitly. O(1) when no growth is needed.
+  void layout(std::size_t count, std::size_t shard_len);
+
+  // Start of shard `i` (i < count of the last layout()); shard_len() bytes
+  // are readable/writable, the slack up to stride() is never read by the
+  // coding kernels.
+  std::uint8_t* shard(std::size_t i) { return base_ + i * stride_; }
+  const std::uint8_t* shard(std::size_t i) const { return base_ + i * stride_; }
+
+  // Base pointer of shard 0; shard j lives at data() + j * stride().
+  const std::uint8_t* data() const { return base_; }
+
+  std::size_t stride() const { return stride_; }
+  std::size_t shard_len() const { return shard_len_; }
+  // Tail-free kernel length: shard_len rounded up to kKernelStep (never
+  // exceeds stride). frame_shard_into zeroes shards up to this length.
+  std::size_t padded_len() const { return padded_len_; }
+  std::size_t count() const { return count_; }
+
+  // Bytes currently owned (the high-water mark); exposed so tests can pin
+  // the no-realloc steady-state property.
+  std::size_t capacity_bytes() const { return buf_.size(); }
+
+  // Writes the framed form of `payload` ([u16 len | payload | zero pad]) to
+  // shard `i`, padding to the layout's padded_len. payload.size() + 2 must
+  // be <= shard_len(). `payload` must not alias the arena.
+  void frame_shard_into(std::size_t i, std::span<const std::uint8_t> payload);
+
+ private:
+  std::vector<std::uint8_t> buf_;  // Oversized by kAlignment for the aligned base.
+  std::uint8_t* base_ = nullptr;
+  std::size_t stride_ = 0;
+  std::size_t shard_len_ = 0;
+  std::size_t padded_len_ = 0;
+  std::size_t count_ = 0;
+};
+
 // Encodes a batch of k data packets into `num_coded` coded packets of the
 // given type (kInCoded for in-stream batches, kCrossCoded for cross-stream
 // batches). `src`/`dst` address the coded packets (DC1 -> DC2).
 //
 // Preconditions: 1 <= k <= 255 - num_coded, all packets non-null.
+// Reference path: allocates one framed copy per shard plus the parity
+// vectors. Prefer BatchEncoder on per-batch hot paths.
 std::vector<PacketPtr> encode_batch(std::span<const PacketPtr> data,
                                     std::size_t num_coded, PacketType coded_type,
                                     std::uint32_t batch_id, NodeId src, NodeId dst,
                                     SimTime now);
+
+// The zero-copy production encoder. Owns a ShardArena and memoizes the last
+// (k, r) codec, so a service instance that encodes batch after batch of the
+// same shape performs, per batch: one framing pass over the data payloads
+// into the arena, the SIMD parity computation directly into the output
+// packets' payloads, and nothing else — no per-shard vectors, no
+// intermediate parity buffers, no codec-cache lock.
+//
+// Not thread-safe (the arena is shared mutable state); keep one instance
+// per encoding service/thread. Output packets are independently owned
+// shared_ptrs, safe to retain beyond the encoder's lifetime.
+class BatchEncoder {
+ public:
+  // Zero-copy equivalent of encode_batch: appends `num_coded` coded packets
+  // to `out` (byte-identical payload and metadata to what encode_batch
+  // returns for the same inputs). `out` is appended to, not cleared, so a
+  // caller-reused vector amortizes its allocation too.
+  //
+  // Preconditions: as encode_batch (throws std::invalid_argument on an
+  // empty batch or k + num_coded > 255; packets non-null). Complexity:
+  // O(k * shard_len) framing + O(k * num_coded * shard_len) field ops.
+  void encode_into(std::span<const PacketPtr> data, std::size_t num_coded,
+                   PacketType coded_type, std::uint32_t batch_id, NodeId src,
+                   NodeId dst, SimTime now, std::vector<PacketPtr>& out);
+
+  // The scratch arena, exposed for tests (capacity high-water assertions).
+  const ShardArena& arena() const { return arena_; }
+
+ private:
+  ShardArena arena_;
+  std::vector<std::uint8_t*> parity_ptrs_;            // Reused per batch.
+  std::shared_ptr<const ReedSolomon> codec_;          // Memoized last shape,
+                                                      // backed by the global
+                                                      // (k, r) cache.
+};
 
 // Reconstructs the payloads of missing batch members.
 //
@@ -49,12 +172,29 @@ struct RecoveredPacket {
   std::vector<std::uint8_t> payload;
 };
 
+// Convenience form: uses a transient arena (allocates scratch per call).
 std::optional<std::vector<RecoveredPacket>> decode_batch(
     const CodedMeta& meta,
     std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> present_data,
     std::span<const PacketPtr> coded);
 
-// The shard length used for a batch whose largest payload is `max_payload`.
+// Arena form, symmetric to BatchEncoder: frames the present payloads and
+// reconstructs the missing shards inside `arena` (grow-only, reusable
+// across calls — the recovery service keeps one per instance), so no
+// shard-sized buffer is allocated or copied beyond the returned
+// RecoveredPacket payloads. Small transient bookkeeping vectors (input
+// lists, the sub-matrix inverse) are still heap-allocated per call —
+// recovery runs per NACK, not per packet, so those are off the hot path.
+// Only the missing codeword positions are reconstructed; positions the
+// caller already holds are never materialized. Not thread-safe with
+// respect to `arena`.
+std::optional<std::vector<RecoveredPacket>> decode_batch(
+    ShardArena& arena, const CodedMeta& meta,
+    std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> present_data,
+    std::span<const PacketPtr> coded);
+
+// The shard length used for a batch whose largest payload is `max_payload`
+// (payload plus the u16 length prefix).
 std::size_t shard_length(std::size_t max_payload);
 
 }  // namespace jqos::fec

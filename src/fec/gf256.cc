@@ -102,6 +102,36 @@ void gf_mul_buf(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n)
   detail::gf_mul_buf_kernel()(dst, src, c, n);
 }
 
+void gf_rs_row(std::uint8_t* dst, const std::uint8_t* const* srcs, const Gf* coeffs,
+               std::size_t k, std::size_t n) {
+  // Compact away c == 0 terms (they contribute nothing); the kernels then
+  // only see active sources. k <= 255 by the RS contract, so fixed stack
+  // arrays suffice — no allocation on this path.
+  const std::uint8_t* active[255];
+  Gf cs[255];
+  std::size_t m = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (coeffs[j] == 0) continue;
+    active[m] = srcs[j];
+    cs[m] = coeffs[j];
+    ++m;
+  }
+  if (m == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  detail::gf_rs_row_kernel()(dst, active, cs, m, n);
+}
+
+void gf_rs_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t stride,
+               const Gf* coeffs, std::size_t k, std::size_t n) {
+  // Materialize the strided shard pointers and share the pointer-array
+  // overload's compaction logic.
+  const std::uint8_t* srcs[255];
+  for (std::size_t j = 0; j < k; ++j) srcs[j] = src + j * stride;
+  gf_rs_row(dst, srcs, coeffs, k, n);
+}
+
 namespace detail {
 
 // Scalar backend: one L1-resident 256-byte row walk per buffer. Defined here
@@ -114,6 +144,15 @@ void gf_addmul_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::siz
 void gf_mul_buf_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
   const auto& row = tables().mul_[c];
   for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+// Reference composition of the fused row kernel: first active term
+// initializes, the rest accumulate. The tables are exact for every
+// coefficient (including 1), so no fast-path stripping is needed here.
+void gf_rs_row_scalar(std::uint8_t* dst, const std::uint8_t* const* srcs, const Gf* cs,
+                      std::size_t m, std::size_t n) {
+  gf_mul_buf_scalar(dst, srcs[0], cs[0], n);
+  for (std::size_t j = 1; j < m; ++j) gf_addmul_scalar(dst, srcs[j], cs[j], n);
 }
 
 }  // namespace detail

@@ -47,6 +47,27 @@ void gf_addmul(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
 // (in-place scaling, used by matrix inversion) or no overlap.
 void gf_mul_buf(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
 
+// Fused Reed-Solomon row kernel:
+//
+//     dst[i] = XOR over j in [0, k) of coeffs[j] * src_j[i],
+//
+// where src_j = src + j * stride (k equal-length shards laid out at a fixed
+// stride, as in fec::ShardArena). Computes a whole codeword row in ONE pass
+// over dst — the per-source gf_addmul formulation re-reads and re-writes
+// dst k times; this accumulates all k products in registers and stores each
+// dst block once, which is what makes the strided arena layout faster than
+// per-shard pointer chasing. dst is fully overwritten (k == 0 or all-zero
+// coefficients zero it). Preconditions: k <= 255, stride >= n, dst must not
+// overlap any source shard. O(k * n) field operations.
+void gf_rs_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t stride,
+               const Gf* coeffs, std::size_t k, std::size_t n);
+
+// Pointer-array variant of gf_rs_row for sources that are not stride-
+// contiguous (decode reads a mix of arena shards and packet payloads).
+// Same contract otherwise.
+void gf_rs_row(std::uint8_t* dst, const std::uint8_t* const* srcs,
+               const Gf* coeffs, std::size_t k, std::size_t n);
+
 // Direct table access for tests that validate table construction against
 // schoolbook carry-less multiplication.
 Gf gf_exp_table(unsigned i);   // alpha^i, i in [0, 509]

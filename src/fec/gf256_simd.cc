@@ -63,18 +63,19 @@ struct Dispatch {
   GfBackend backend;
   KernelFn addmul;
   KernelFn mul_buf;
+  RowKernelFn rs_row;
 };
 
 Dispatch make_dispatch(GfBackend b) {
   switch (b) {
     case GfBackend::kAvx2:
-      return {b, &gf_addmul_avx2, &gf_mul_buf_avx2};
+      return {b, &gf_addmul_avx2, &gf_mul_buf_avx2, &gf_rs_row_avx2};
     case GfBackend::kSsse3:
-      return {b, &gf_addmul_ssse3, &gf_mul_buf_ssse3};
+      return {b, &gf_addmul_ssse3, &gf_mul_buf_ssse3, &gf_rs_row_ssse3};
     case GfBackend::kScalar:
       break;
   }
-  return {GfBackend::kScalar, &gf_addmul_scalar, &gf_mul_buf_scalar};
+  return {GfBackend::kScalar, &gf_addmul_scalar, &gf_mul_buf_scalar, &gf_rs_row_scalar};
 }
 
 Dispatch& dispatch() {
@@ -91,6 +92,7 @@ const NibbleTables& nibble_tables() {
 
 KernelFn gf_addmul_kernel() { return dispatch().addmul; }
 KernelFn gf_mul_buf_kernel() { return dispatch().mul_buf; }
+RowKernelFn gf_rs_row_kernel() { return dispatch().rs_row; }
 
 }  // namespace detail
 

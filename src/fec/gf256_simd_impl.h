@@ -36,10 +36,19 @@ using KernelFn = void (*)(std::uint8_t*, const std::uint8_t*, Gf, std::size_t);
 KernelFn gf_addmul_kernel();
 KernelFn gf_mul_buf_kernel();
 
+// Fused row kernel (gf_rs_row): dst[i] = XOR_j cs[j] * srcs[j][i], one pass
+// over dst. The wrapper compacts away c == 0 terms, so kernels see m >= 1
+// active sources; coefficients may still be 1 (the tables are exact for it).
+using RowKernelFn = void (*)(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                             const Gf* cs, std::size_t m, std::size_t n);
+RowKernelFn gf_rs_row_kernel();
+
 // Scalar reference kernels (no fast-path handling: callers strip c==0/c==1
 // before dispatch). Also used for SIMD loop tails.
 void gf_addmul_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
 void gf_mul_buf_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+void gf_rs_row_scalar(std::uint8_t* dst, const std::uint8_t* const* srcs, const Gf* cs,
+                      std::size_t m, std::size_t n);
 
 // Per-ISA kernels. The symbols always exist so the dispatcher links on any
 // platform; when the TU was compiled without the matching ISA (non-x86, or a
@@ -48,9 +57,13 @@ void gf_mul_buf_scalar(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::si
 bool gf_ssse3_compiled();
 void gf_addmul_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
 void gf_mul_buf_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+void gf_rs_row_ssse3(std::uint8_t* dst, const std::uint8_t* const* srcs, const Gf* cs,
+                     std::size_t m, std::size_t n);
 
 bool gf_avx2_compiled();
 void gf_addmul_avx2(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
 void gf_mul_buf_avx2(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n);
+void gf_rs_row_avx2(std::uint8_t* dst, const std::uint8_t* const* srcs, const Gf* cs,
+                    std::size_t m, std::size_t n);
 
 }  // namespace jqos::fec::detail

@@ -45,6 +45,38 @@ void gf_mul_buf_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::siz
   if (i < n) gf_mul_buf_scalar(dst + i, src + i, c, n - i);
 }
 
+// Fused Reed-Solomon row at 16 bytes per step; see gf_rs_row_avx2 for the
+// rationale. Tables for all m coefficients sit in an L1-hot stack array
+// (16 B each, 8 KiB max), dst is stored once per block.
+void gf_rs_row_ssse3(std::uint8_t* dst, const std::uint8_t* const* srcs, const Gf* cs,
+                     std::size_t m, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  alignas(16) __m128i tabs[2 * 255];
+  for (std::size_t j = 0; j < m; ++j) {
+    tabs[2 * j] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[cs[j]]));
+    tabs[2 * j + 1] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[cs[j]]));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_setzero_si128();
+    for (std::size_t j = 0; j < m; ++j) {
+      const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[j] + i));
+      const __m128i pl = _mm_shuffle_epi8(tabs[2 * j], _mm_and_si128(s, mask));
+      const __m128i ph =
+          _mm_shuffle_epi8(tabs[2 * j + 1], _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+      acc = _mm_xor_si128(acc, _mm_xor_si128(pl, ph));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+  }
+  if (i < n) {
+    gf_mul_buf_scalar(dst + i, srcs[0] + i, cs[0], n - i);
+    for (std::size_t j = 1; j < m; ++j) {
+      gf_addmul_scalar(dst + i, srcs[j] + i, cs[j], n - i);
+    }
+  }
+}
+
 }  // namespace jqos::fec::detail
 
 #else  // !x86 or compiler without -mssse3: keep the symbols, stay scalar.
@@ -59,6 +91,11 @@ void gf_addmul_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size
 
 void gf_mul_buf_ssse3(std::uint8_t* dst, const std::uint8_t* src, Gf c, std::size_t n) {
   gf_mul_buf_scalar(dst, src, c, n);
+}
+
+void gf_rs_row_ssse3(std::uint8_t* dst, const std::uint8_t* const* srcs, const Gf* cs,
+                     std::size_t m, std::size_t n) {
+  gf_rs_row_scalar(dst, srcs, cs, m, n);
 }
 
 }  // namespace jqos::fec::detail

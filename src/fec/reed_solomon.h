@@ -7,6 +7,10 @@
 // block. The top block becomes the identity (systematic), and every square
 // submatrix built from distinct rows remains invertible, which is exactly
 // the any-k-of-n property.
+//
+// A ReedSolomon instance is immutable after construction and safe to share
+// across threads; coded_batch.cc caches instances per (k, r) for exactly
+// that reason.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +27,9 @@ namespace jqos::fec {
 class ReedSolomon {
  public:
   // k data shards, r parity shards; k >= 1, r >= 0, k + r <= 255.
+  // Construction inverts a k x k block: O(k^3) field operations. Cache and
+  // reuse instances (see coded_batch.cc's shared_codec) instead of building
+  // one per batch.
   ReedSolomon(std::size_t k, std::size_t r);
 
   std::size_t k() const { return k_; }
@@ -30,21 +37,47 @@ class ReedSolomon {
   std::size_t n() const { return k_ + r_; }
 
   // Computes the r parity shards for k equal-length data shards.
-  // `data` must contain exactly k spans of identical length.
+  // `data` must contain exactly k spans of identical length. Allocates the
+  // returned parity vectors; O(k * r * len) field operations. Convenience
+  // wrapper over encode_into for call sites off the hot path.
   std::vector<std::vector<std::uint8_t>> encode(
       std::span<const std::span<const std::uint8_t>> data) const;
 
-  // Zero-allocation variant for the encoding hot path (Figure 10 benchmark):
-  // parity[i] must point at shard_len writable bytes.
+  // Zero-allocation encode core: data[j] must point at shard_len readable
+  // bytes (shard j), parity[i] at shard_len writable bytes. Parity buffers
+  // are fully overwritten (no need to pre-zero) and must not alias any data
+  // shard or each other. O(k * r * shard_len), no allocation.
   void encode_into(const std::uint8_t* const* data, std::size_t shard_len,
+                   std::uint8_t* const* parity) const;
+
+  // Strided encode core for arena-framed batches (BatchEncoder's layout):
+  // shard j lives at data + j * stride, stride >= shard_len. Reads the k
+  // shards in place — no per-shard pointer table, no copies. Same aliasing
+  // and cost contract as the pointer-array overload.
+  void encode_into(const std::uint8_t* data, std::size_t stride, std::size_t shard_len,
                    std::uint8_t* const* parity) const;
 
   // Reconstructs all k data shards from any >= k shards. Each entry pairs a
   // row index (0..k-1 for data shards, k..n-1 for parity) with the shard
   // bytes; all shards must have equal length and indices must be distinct.
-  // Returns nullopt if fewer than k shards are supplied.
+  // Returns nullopt if fewer than k shards are supplied. Allocates the
+  // returned shards and a k x k inverse; O(k^3 + k^2 * len).
   std::optional<std::vector<std::vector<std::uint8_t>>> decode(
       std::span<const std::pair<std::size_t, std::span<const std::uint8_t>>> shards) const;
+
+  // Targeted zero-copy decode: reconstructs only the data shards named in
+  // `targets` (codeword positions 0..k-1), writing target i's shard into
+  // out[i], which must point at shard_len writable bytes. `shards` pairs row
+  // indices with shard pointers (each shard_len long, first k distinct
+  // entries are used); out buffers must not alias any input shard. Returns
+  // false when fewer than k distinct shards are supplied. Throws
+  // std::out_of_range / std::invalid_argument on malformed indices, like
+  // decode. Cost: one O(k^3) inversion plus O(k * len) per requested target
+  // that was not received directly; no allocation proportional to len.
+  bool decode_into(
+      std::span<const std::pair<std::size_t, const std::uint8_t*>> shards,
+      std::size_t shard_len, std::span<const std::size_t> targets,
+      std::uint8_t* const* out) const;
 
   // Row `i` of the full (systematic) encoding matrix; exposed for tests.
   std::vector<Gf> encode_row(std::size_t i) const;

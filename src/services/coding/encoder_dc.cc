@@ -102,9 +102,10 @@ void CodingEncoderService::encode_queue(Queue& q, std::size_t coded, PacketType 
     return;
   }
   const std::uint32_t batch_id = next_batch_id_++;
-  auto coded_pkts =
-      fec::encode_batch(q.pkts, coded, type, batch_id, dc_.id(), dc2, dc_.now());
-  for (auto& cp : coded_pkts) {
+  coded_scratch_.clear();
+  encoder_.encode_into(q.pkts, coded, type, batch_id, dc_.id(), dc2, dc_.now(),
+                       coded_scratch_);
+  for (auto& cp : coded_scratch_) {
     // Coded packets ride the inter-DC path with the coding service tag so
     // the recovery DC claims them on arrival.
     auto mutable_cp = std::const_pointer_cast<Packet>(cp);

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fec/coded_batch.h"
 #include "overlay/datacenter.h"
 #include "services/coding/coding_plan.h"
 
@@ -40,6 +41,11 @@ class CodingEncoderService final : public overlay::DcService {
 
   const char* name() const override { return "cr-wan-encoder"; }
 
+  // Claims kData packets tagged for the coding service: enqueues the packet
+  // into its in-stream and cross-stream queues (Algorithm 1) and encodes any
+  // queue that fills. Returns false for packets this service does not own
+  // (other types/services), true once the packet has been consumed. O(1)
+  // amortized per packet plus one zero-copy batch encode per full queue.
   bool handle(overlay::DataCenter& dc, const PacketPtr& pkt) override;
 
   // Flushes every non-empty queue immediately (end of experiment / ON
@@ -61,6 +67,10 @@ class CodingEncoderService final : public overlay::DcService {
   void enqueue_cross_stream(const PacketPtr& pkt, NodeId dc2);
 
   // Encodes and clears one queue; `coded` many parity packets go to `dc2`.
+  // Runs on the zero-copy BatchEncoder path: the per-instance arena and the
+  // coded-packet scratch vector are reused across every batch this service
+  // encodes, so steady-state batches allocate only the coded packets
+  // themselves.
   void encode_queue(Queue& q, std::size_t coded, PacketType type, NodeId dc2);
 
   void arm_timer_in(FlowId flow);
@@ -73,6 +83,12 @@ class CodingEncoderService final : public overlay::DcService {
   CodingParams params_;
   FlowRegistryPtr registry_;
   std::uint32_t next_batch_id_;
+
+  // Zero-copy coding state, reused for the lifetime of the service: the
+  // encoder's shard arena grows to the largest batch shape once, then every
+  // later batch frames and encodes without touching the allocator.
+  fec::BatchEncoder encoder_;
+  std::vector<PacketPtr> coded_scratch_;
 
   std::unordered_map<FlowId, Queue> in_qs_;
   // Destination DC -> fixed-size vector of cross-stream queues.

@@ -299,7 +299,7 @@ void RecoveryService::maybe_finish_op(CoopOp& op) {
   for (const auto& [pos, payload] : op.responses) {
     present.emplace_back(pos, std::span<const std::uint8_t>(payload));
   }
-  auto recovered = fec::decode_batch(batch.meta, present, batch.coded);
+  auto recovered = fec::decode_batch(decode_arena_, batch.meta, present, batch.coded);
   if (!recovered) return;  // Still insufficient (duplicate positions etc).
 
   ++stats_.coop_success;

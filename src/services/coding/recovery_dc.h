@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fec/coded_batch.h"
 #include "overlay/datacenter.h"
 #include "services/coding/coding_plan.h"
 
@@ -134,6 +135,11 @@ class RecoveryService final : public overlay::DcService {
   std::unordered_map<std::uint32_t, CoopOp> ops_;
   std::unordered_map<PacketKey, PendingNack> pending_;
   SimTime last_sweep_ = 0;
+
+  // Scratch for the zero-copy decode path (see fec::decode_batch's arena
+  // overload): grows to the largest batch shape once, then every decode
+  // frames and reconstructs in place.
+  fec::ShardArena decode_arena_;
 
   RecoveryStatsDc stats_;
 };

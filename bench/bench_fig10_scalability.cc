@@ -15,6 +15,7 @@
 // thread-scaling data.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -23,9 +24,11 @@
 
 #include "bench_json.h"
 #include "common/rng.h"
+#include "exp/sharded_runner.h"
 #include "fec/gf256_simd.h"
 #include "fec/reed_solomon.h"
 #include "netsim/network.h"
+#include "threads_sweep.h"
 
 namespace {
 
@@ -228,6 +231,48 @@ NetsimPoint run_netsim_sweep(netsim::EvqBackend backend, std::uint64_t total_pac
   return point;
 }
 
+// ------------- sharded full-stack scenario sweep (whole machine) -----------
+//
+// The per-core story above (SIMD kernels, ladder event queue) multiplies by
+// the core count through exp::ShardedRunner: the fig8-shaped 45-path
+// deployment is partitioned into (DC1,DC2) shards and run one-per-thread.
+// Merged results are bit-identical across every row (the runner's
+// determinism contract); the sweep measures wall-clock scaling only.
+bench::ThreadsSweepRow run_sharded_scenario(unsigned threads, SimDuration duration,
+                                            double packets_per_second) {
+  Rng rng(42);
+  auto paths = geo::planetlab_paths(45, rng);
+
+  exp::WanScenarioParams params;
+  params.service = ServiceType::kCode;
+  params.seed = 42;
+  params.coding.k = 6;
+  params.coding.cross_coded = 2;
+  params.coding.in_block = 5;
+  params.coding.in_coded = 1;
+  params.coding.queue_timeout = msec(300);
+  params.cbr.on_duration = minutes(2);
+  params.cbr.mean_off = minutes(1);
+  params.cbr.packets_per_second = packets_per_second;
+
+  exp::ShardedRunParams run_params;
+  run_params.num_threads = threads;
+  exp::ShardedRunner runner(std::move(paths), params, run_params);
+
+  const auto start = std::chrono::steady_clock::now();
+  runner.run(duration);
+  bench::ThreadsSweepRow point;
+  point.wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  point.threads = runner.threads_used();
+  point.shards = runner.shard_count();
+  point.events = runner.total_events();
+  for (std::size_t i = 0; i < runner.path_count(); ++i) {
+    point.packets += static_cast<std::uint64_t>(runner.path(i).outcome.size());
+  }
+  return point;
+}
+
 }  // namespace
 
 BENCHMARK(BM_EncodeThroughput)
@@ -255,12 +300,22 @@ int main(int argc, char** argv) {
     netsim_points.push_back(run_netsim_sweep(b, sim_packets));
   }
 
+  // Sharded scenario sweep: the full service stack across threads 1/2/4/max.
+  const jqos::SimDuration sweep_duration = quick ? jqos::sec(60) : jqos::minutes(8);
+  const double sweep_pps = quick ? 40.0 : 100.0;
+  std::vector<jqos::bench::ThreadsSweepRow> sharded_points;
+  for (unsigned t : jqos::bench::sweep_thread_counts()) {
+    sharded_points.push_back(run_sharded_scenario(t, sweep_duration, sweep_pps));
+  }
+
   const auto points = sweep_backends();
   double scalar_mbps = 0.0;
   for (const auto& p : points) {
     if (p.backend == fec::GfBackend::kScalar) scalar_mbps = p.mbps;
   }
   if (json) {
+    jqos::bench::emit_threads_sweep("fig10_scalability", "sharded_scenario",
+                                    sharded_points);
     for (const auto& p : netsim_points) {
       jqos::bench::JsonRow("fig10_scalability")
           .add("name", "netsim_dispatch")
@@ -287,6 +342,13 @@ int main(int argc, char** argv) {
     // --benchmark_format=json covers the machine-readable case.
     return 0;
   }
+
+  char sweep_header[128];
+  std::snprintf(sweep_header, sizeof(sweep_header),
+                "== Sharded full-stack scenario: 45 paths, %s simulated per row ==",
+                jqos::format_duration(sweep_duration).c_str());
+  jqos::bench::print_threads_sweep(sweep_header, sharded_points);
+  std::printf("\n");
 
   std::printf("== Netsim packet dispatch: %llu simulated packets, per event-queue backend ==\n",
               static_cast<unsigned long long>(sim_packets));

@@ -6,15 +6,25 @@
 //  (d) recovery time / RTT, per region pair
 //  (e) 2 vs 1 cross-stream coded packets (straggler protection ablation)
 //
+// The figure run executes through exp::ShardedRunner (one shard per
+// (DC1,DC2) path group, JQOS_SIM_THREADS workers), and a trailing threads
+// sweep re-runs the 45-path scenario at 1/2/4/max threads to report merged
+// throughput and speedup_vs_1t -- the merged results are bit-identical
+// across the sweep by the runner's determinism contract, so the sweep
+// measures wall-clock only.
+//
 // Flags: --quick shrinks the run for smoke testing; --json emits the
 // headline figure metrics as JSON Lines (see bench_json.h) for CI diffing.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "bench_json.h"
 #include "exp/fec_whatif.h"
 #include "exp/planetlab.h"
 #include "exp/report.h"
+#include "threads_sweep.h"
 
 int main(int argc, char** argv) {
   using namespace jqos;
@@ -77,14 +87,19 @@ int main(int argc, char** argv) {
   }
 
   // ---- (c) CR-WAN vs on-path FEC what-if ----
+  // Trace replays fan out across the worker pool (deterministic merge).
+  std::vector<std::vector<bool>> traces;
+  traces.reserve(result.paths.size());
+  for (const auto& p : result.paths) traces.push_back(p.trace);
+  const auto whatif = exp::fec_whatif_sweep(traces, {{5, 1}, {5, 2}, {5, 5}});
   Samples inc20, inc40, inc100;
   std::size_t fec100_defeated = 0;
-  for (const auto& p : result.paths) {
-    const double crwan = p.recovery_success;
-    inc20.add(exp::percent_increase(crwan, exp::fec_recovery_rate(p.trace, 5, 1)));
-    inc40.add(exp::percent_increase(crwan, exp::fec_recovery_rate(p.trace, 5, 2)));
-    inc100.add(exp::percent_increase(crwan, exp::fec_recovery_rate(p.trace, 5, 5)));
-    if (exp::has_fec_unrecoverable_episode(p.trace, 5, 5)) ++fec100_defeated;
+  for (std::size_t i = 0; i < result.paths.size(); ++i) {
+    const double crwan = result.paths[i].recovery_success;
+    inc20.add(exp::percent_increase(crwan, whatif[i].rates[0]));
+    inc40.add(exp::percent_increase(crwan, whatif[i].rates[1]));
+    inc100.add(exp::percent_increase(crwan, whatif[i].rates[2]));
+    if (whatif[i].last_level_defeated) ++fec100_defeated;
   }
   if (!json) {
     exp::print_cdf("Fig8c % increase vs FEC 20% overhead", inc20);
@@ -146,7 +161,38 @@ int main(int argc, char** argv) {
                          "% of paths see >10% improvement");
   }
 
+  // ---- threads sweep: merged throughput of the 45-path scenario ----
+  // Re-runs the deployment at 1/2/4/max worker threads. Results are
+  // bit-identical across rows (enforced by sharded_scenario_test); the rows
+  // measure wall-clock, merged events/sec, and workload Mpps.
+  exp::PlanetlabConfig sweep_config = config;
+  sweep_config.duration = quick ? sec(90) : minutes(10);
+  std::vector<bench::ThreadsSweepRow> sweep;
+  for (unsigned threads : bench::sweep_thread_counts()) {
+    sweep_config.num_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const exp::PlanetlabResult r = exp::run_planetlab(sweep_config);
+    bench::ThreadsSweepRow row;
+    row.threads = r.threads_used;  // Clamped to the shard count by the runner.
+    row.shards = r.shards_used;
+    row.wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    row.events = r.events_processed;
+    for (const auto& p : r.paths) {
+      row.packets += static_cast<std::uint64_t>(p.trace.size());
+    }
+    sweep.push_back(row);
+  }
+  if (!json) {
+    char header[128];
+    std::snprintf(header, sizeof(header),
+                  "\n== Threads sweep: %zu paths, %s simulated per row ==",
+                  sweep_config.num_paths, format_duration(sweep_config.duration).c_str());
+    bench::print_threads_sweep(header, sweep);
+  }
+
   if (json) {
+    bench::emit_threads_sweep("fig8_crwan", "threads_sweep", sweep);
     bench::JsonRow("fig8_crwan")
         .add("name", "overall")
         .add("paths", static_cast<std::uint64_t>(result.paths.size()))

@@ -1,0 +1,76 @@
+// Shared scaffolding for the ShardedRunner threads sweeps in
+// bench_fig8_crwan and bench_fig10_scalability: one row schema (keyed on by
+// scripts/bench_regression.py), one thread-count ladder, one table printer,
+// one JSON emitter — so the sweep shape cannot silently diverge between
+// benches.
+//
+// Semantics reminder for readers of the rows: merged results are
+// bit-identical across every row of one sweep (the runner's determinism
+// contract), so `events` must match row to row; only wall-clock moves.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+
+namespace jqos::bench {
+
+// One measured (threads -> wall clock) point of a sharded scenario run.
+struct ThreadsSweepRow {
+  unsigned threads = 0;
+  std::size_t shards = 0;
+  double wall_sec = 0.0;
+  std::uint64_t events = 0;   // Merged simulator events.
+  std::uint64_t packets = 0;  // Merged end-to-end workload packets.
+};
+
+// The ladder every sweep measures: 1/2/4 plus the machine's full width.
+inline std::vector<unsigned> sweep_thread_counts() {
+  std::vector<unsigned> counts{1, 2, 4};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
+
+inline double sweep_speedup(const std::vector<ThreadsSweepRow>& rows,
+                            const ThreadsSweepRow& row) {
+  return rows.empty() || row.wall_sec <= 0.0 ? 0.0 : rows.front().wall_sec / row.wall_sec;
+}
+
+// Human-oriented table; `header` names the scenario shape.
+inline void print_threads_sweep(const char* header,
+                                const std::vector<ThreadsSweepRow>& rows) {
+  std::printf("%s\n", header);
+  std::printf("%-8s %-8s %10s %12s %12s %10s %12s\n", "threads", "shards", "wall_s",
+              "events", "Mev/s", "Mpps", "speedup");
+  for (const ThreadsSweepRow& row : rows) {
+    std::printf("%-8u %-8zu %10.2f %12llu %12.2f %10.3f %11.2fx\n", row.threads,
+                row.shards, row.wall_sec, static_cast<unsigned long long>(row.events),
+                static_cast<double>(row.events) / row.wall_sec / 1e6,
+                static_cast<double>(row.packets) / row.wall_sec / 1e6,
+                sweep_speedup(rows, row));
+  }
+}
+
+// JSON Lines rows: bench=<bench_name>, name=<row_name>, one row per point.
+inline void emit_threads_sweep(const char* bench_name, const char* row_name,
+                               const std::vector<ThreadsSweepRow>& rows) {
+  for (const ThreadsSweepRow& row : rows) {
+    JsonRow(bench_name)
+        .add("name", row_name)
+        .add("threads", static_cast<std::uint64_t>(row.threads))
+        .add("shards", static_cast<std::uint64_t>(row.shards))
+        .add("wall_sec", row.wall_sec)
+        .add("events", row.events)
+        .add("mev_per_sec", static_cast<double>(row.events) / row.wall_sec / 1e6)
+        .add("mpps", static_cast<double>(row.packets) / row.wall_sec / 1e6)
+        .add("speedup_vs_1t", sweep_speedup(rows, row))
+        .emit();
+  }
+}
+
+}  // namespace jqos::bench

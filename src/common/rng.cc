@@ -129,4 +129,19 @@ Rng Rng::fork(std::string_view label) {
   return Rng(seed);
 }
 
+std::uint64_t Rng::derive(std::uint64_t seed, std::uint64_t stream_id) {
+  // Two SplitMix64 steps: the first whitens the seed, the second folds in
+  // the stream id spread by the golden ratio so adjacent ids (0, 1, 2, ...)
+  // land in unrelated regions of the state space. Frozen by contract -- see
+  // the header's stability guarantee.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(x);
+}
+
+std::uint64_t Rng::derive(std::uint64_t seed, std::string_view label) {
+  return derive(seed, hash_label(label));
+}
+
 }  // namespace jqos

@@ -56,7 +56,35 @@ class Rng {
 
   // A child generator whose stream is independent of this one; `label`
   // namespaces children so e.g. fork("loss") and fork("jitter") differ.
+  //
+  // fork() draws from the parent, so the child depends on how many values
+  // the parent produced before the fork. Use derive() when a stream must be
+  // a pure function of stable identifiers instead of call order.
   Rng fork(std::string_view label);
+
+  // Derives the seed of an independent sub-stream as a *pure function* of
+  // (seed, stream_id) -- no hidden state, no call-order dependence. This is
+  // the primitive behind sharded experiment decomposition: a path keyed by
+  // its global index draws the same random sequence whether its shard runs
+  // alone, with others, in any thread, or inside the monolithic N=1 run.
+  //
+  // Stability guarantee: the mapping is part of the determinism contract.
+  // It is SplitMix64 over seed, then over seed XOR a golden-ratio-spread
+  // stream_id, and MUST NOT change -- tests pin exact outputs, and every
+  // archived experiment fingerprint depends on it.
+  static std::uint64_t derive(std::uint64_t seed, std::uint64_t stream_id);
+
+  // Label-keyed variant: derive(seed, fnv1a(label)). Used where the stable
+  // identity is a name (e.g. an overlay link "LHR>FRA") rather than an index.
+  static std::uint64_t derive(std::uint64_t seed, std::string_view label);
+
+  // Convenience: an Rng seeded from derive().
+  static Rng derived(std::uint64_t seed, std::uint64_t stream_id) {
+    return Rng(derive(seed, stream_id));
+  }
+  static Rng derived(std::uint64_t seed, std::string_view label) {
+    return Rng(derive(seed, label));
+  }
 
  private:
   std::uint64_t s_[4];

@@ -12,7 +12,13 @@ Receiver::Receiver(netsim::Network& net, const ReceiverConfig& config, DeliverFn
       node_id_(net.allocate_id()),
       config_(config),
       on_delivery_(std::move(on_delivery)),
-      rng_(config.rng_seed ^ (static_cast<std::uint64_t>(node_id_) << 32)) {
+      // The seed is used exactly as given: node ids are allocation-order
+      // artifacts, and mixing them in would make the straggler stream depend
+      // on how many nodes happen to precede this receiver in its Network --
+      // breaking the sharded runner's composition-invariance. Callers that
+      // want uncorrelated receivers pass distinct seeds (the scenario layer
+      // derives one per path via Rng::derive).
+      rng_(config.rng_seed) {
   net_.attach(*this);
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace jqos::exp {
 
 std::vector<bool> loss_trace(const std::vector<Outcome>& outcomes) {
@@ -70,6 +72,26 @@ double percent_increase(double crwan_rate, double fec_rate, double cap_percent) 
   if (fec_rate <= 0.0) return crwan_rate > 0.0 ? cap_percent : 0.0;
   const double inc = (crwan_rate - fec_rate) / fec_rate * 100.0;
   return std::clamp(inc, 0.0, cap_percent);
+}
+
+std::vector<FecWhatifRow> fec_whatif_sweep(
+    const std::vector<std::vector<bool>>& traces,
+    const std::vector<std::pair<std::size_t, std::size_t>>& levels,
+    unsigned num_threads) {
+  std::vector<FecWhatifRow> rows(traces.size());
+  parallel_for_indexed(traces.size(), resolve_sim_threads(num_threads),
+                       [&](std::size_t i) {
+                         FecWhatifRow& row = rows[i];
+                         row.rates.reserve(levels.size());
+                         for (const auto& [block, fec] : levels) {
+                           row.rates.push_back(fec_recovery_rate(traces[i], block, fec));
+                         }
+                         if (!levels.empty()) {
+                           row.last_level_defeated = has_fec_unrecoverable_episode(
+                               traces[i], levels.back().first, levels.back().second);
+                         }
+                       });
+  return rows;
 }
 
 }  // namespace jqos::exp

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "exp/scenario.h"
@@ -35,5 +36,22 @@ double percent_increase(double crwan_rate, double fec_rate, double cap_percent =
 // unrecoverable even at 100% overhead" claim).
 bool has_fec_unrecoverable_episode(const std::vector<bool>& trace, std::size_t block,
                                    std::size_t fec_per_block);
+
+// One path's full Figure 8(c) what-if evaluation: recovery rate at each
+// requested overhead level plus the "FEC-defeated even at the last level"
+// flag. Kept together so the multi-path sweep walks each trace once.
+struct FecWhatifRow {
+  std::vector<double> rates;         // One per (block, fec) overhead level.
+  bool last_level_defeated = false;  // has_fec_unrecoverable_episode at back().
+};
+
+// Replays every trace against each (block, fec_per_block) overhead level,
+// fanned out across `num_threads` workers (0 = JQOS_SIM_THREADS or
+// hardware_concurrency). Rows come back in trace order and are
+// byte-identical for any thread count -- traces are independent replays.
+std::vector<FecWhatifRow> fec_whatif_sweep(
+    const std::vector<std::vector<bool>>& traces,
+    const std::vector<std::pair<std::size_t, std::size_t>>& levels,
+    unsigned num_threads = 0);
 
 }  // namespace jqos::exp

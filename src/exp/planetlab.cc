@@ -61,10 +61,16 @@ PlanetlabResult run_planetlab(const PlanetlabConfig& config) {
   params.cbr = config.cbr;
   params.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
 
-  WanScenario scenario(std::move(samples), params);
+  ShardedRunParams run_params;
+  run_params.num_shards = config.num_shards;
+  run_params.num_threads = config.num_threads;
+  ShardedRunner scenario(std::move(samples), params, run_params);
   scenario.run(config.duration);
 
   PlanetlabResult result;
+  result.shards_used = scenario.shard_count();
+  result.threads_used = scenario.threads_used();
+  result.events_processed = scenario.total_events();
   std::uint64_t lost_total = 0;
   std::uint64_t recovered_total = 0;
   std::uint64_t offered_total = 0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exp/scenario.h"
+#include "exp/sharded_runner.h"
 
 namespace jqos::exp {
 
@@ -27,6 +28,11 @@ struct PlanetlabConfig {
                                 .queue_timeout = msec(300)};
   DirectPathParams direct;
   std::uint64_t seed = 42;
+  // Sharded execution (see sharded_runner.h). Neither value changes the
+  // results -- num_threads never, num_shards by the runner's composition-
+  // invariance contract; they only trade wall-clock for cores.
+  std::size_t num_shards = 0;   // 0 = one shard per (DC1, DC2) group.
+  unsigned num_threads = 0;     // 0 = JQOS_SIM_THREADS or hardware_concurrency.
 };
 
 // Loss-episode classification (Figure 8(b)).
@@ -66,6 +72,10 @@ struct PlanetlabResult {
   std::map<std::string, Samples> recovery_over_rtt_by_region;  // Fig 8(d) series.
   services::EncoderStats encoder;
   services::RecoveryStatsDc recovery;
+  // Execution shape of the run that produced this result.
+  std::size_t shards_used = 0;
+  unsigned threads_used = 0;
+  std::uint64_t events_processed = 0;  // Summed across shards.
 };
 
 PlanetlabResult run_planetlab(const PlanetlabConfig& config);

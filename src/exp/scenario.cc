@@ -6,25 +6,42 @@
 #include "netsim/latency_model.h"
 
 namespace jqos::exp {
+namespace {
 
-WanScenario::WanScenario(std::vector<geo::PathSample> paths, const WanScenarioParams& params)
+// Stream-id namespaces under the scenario seed. Path streams use the global
+// path index directly; named streams use label hashing (Rng::derive on a
+// string_view), which cannot collide with small integer ids in practice.
+constexpr std::uint64_t kPathStreamBase = 0x70617468u;  // "path"
+
+std::uint64_t path_seed(std::uint64_t scenario_seed, std::size_t global_index) {
+  return Rng::derive(scenario_seed, kPathStreamBase + global_index);
+}
+
+}  // namespace
+
+ScenarioShard::ScenarioShard(std::vector<IndexedPath> paths, const WanScenarioParams& params,
+                             netsim::EvqBackend backend)
     : params_(params),
+      sim_(backend),
       net_(sim_),
       rng_(params.seed),
       registry_(std::make_shared<services::FlowRegistry>()),
       sessions_(registry_) {
   build_overlay(paths);
-  for (auto& sample : paths) build_path(std::move(sample));
+  for (auto& path : paths) build_path(std::move(path));
 }
 
-WanScenario::~WanScenario() = default;
+ScenarioShard::~ScenarioShard() = default;
 
-void WanScenario::build_overlay(const std::vector<geo::PathSample>& paths) {
-  // Collect the distinct cloud sites the paths touch.
+void ScenarioShard::build_overlay(const std::vector<IndexedPath>& paths) {
+  // Collect the distinct cloud sites the shard's paths touch. The overlay
+  // keys its link streams by site NAME (see OverlayNetwork), so building it
+  // from this subset leaves every link's random sequence unchanged relative
+  // to the monolithic run.
   std::set<std::string> names;
   std::vector<geo::CloudSite> sites;
   for (const auto& p : paths) {
-    for (const geo::CloudSite* site : {&p.dc1, &p.dc2}) {
+    for (const geo::CloudSite* site : {&p.sample.dc1, &p.sample.dc2}) {
       if (names.insert(site->name).second) sites.push_back(*site);
     }
   }
@@ -49,10 +66,20 @@ void WanScenario::build_overlay(const std::vector<geo::PathSample>& paths) {
   }
 }
 
-void WanScenario::build_path(geo::PathSample sample) {
+void ScenarioShard::build_path(IndexedPath path) {
+  geo::PathSample sample = std::move(path.sample);
+  // Every stochastic choice this path makes -- severity, loss processes,
+  // jitter, access links, receiver straggler behavior, workload skew --
+  // draws from streams derived from (scenario seed, GLOBAL path index).
+  // Nothing is drawn from shard-shared state, so the path's entire random
+  // future is fixed before we know which shard (or thread) runs it.
+  const std::uint64_t pseed = path_seed(params_.seed, path.global_index);
+  Rng path_rng(pseed);
+
   auto rt = std::make_unique<PathRuntime>();
   rt->path = sample;
   rt->label = geo::region_pair_label(sample);
+  rt->global_index = path.global_index;
   rt->rtt_ms = 2.0 * sample.y_ms;
   rt->give_up_rtts = params_.give_up_rtts;
   rt->flow = next_flow_++;
@@ -77,7 +104,7 @@ void WanScenario::build_path(geo::PathSample sample) {
   // Wide-area testbed hosts are sometimes slow to answer cooperative
   // requests (the straggler problem, Section 4.4).
   rc.coop_slow_prob = params_.coop_slow_prob;
-  rc.rng_seed = params_.seed ^ 0x51ee7;
+  rc.rng_seed = Rng::derive(pseed, "receiver-coop");
   PathRuntime* rt_raw = rt.get();
   rt->receiver = std::make_unique<endpoint::Receiver>(
       net_, rc, [rt_raw](const endpoint::DeliveryRecord& rec, const PacketPtr&) {
@@ -119,7 +146,7 @@ void WanScenario::build_path(geo::PathSample sample) {
   // --- links ---
   // Direct Internet path with the configured loss mix, scaled by a
   // per-path severity factor (paths span orders of magnitude in loss rate).
-  Rng loss_rng = rng_.fork("direct-loss");
+  Rng loss_rng = path_rng.fork("direct-loss");
   const double severity =
       params_.direct.path_severity_sigma > 0.0
           ? loss_rng.lognormal(0.0, params_.direct.path_severity_sigma)
@@ -143,7 +170,7 @@ void WanScenario::build_path(geo::PathSample sample) {
     loss = std::make_unique<Composite>(std::move(loss),
                                        netsim::make_gilbert_elliott(ge, loss_rng.fork("ge")));
   }
-  if (rng_.bernoulli(params_.direct.outage_path_fraction)) {
+  if (path_rng.fork("outage-sel").bernoulli(params_.direct.outage_path_fraction)) {
     loss = netsim::make_outage_over(std::move(loss), params_.direct.outage,
                                     loss_rng.fork("outage"));
   }
@@ -153,11 +180,15 @@ void WanScenario::build_path(geo::PathSample sample) {
   jp.jitter_scale_ms = params_.direct.jitter_scale_ms;
   jp.spike_prob = params_.direct.spike_prob;
   net_.add_link(rt->sender->id(), rt->receiver->id(),
-                netsim::make_jitter_latency(jp, rng_.fork("direct-lat")), std::move(loss));
+                netsim::make_jitter_latency(jp, path_rng.fork("direct-lat")),
+                std::move(loss));
 
-  // Access links to the nearby DCs.
-  overlay_->attach_host(rt->sender->id(), *rt->dc1, msec_f(sample.delta_s_ms));
-  overlay_->attach_host(rt->receiver->id(), *rt->dc2, msec_f(sample.delta_r_ms));
+  // Access links to the nearby DCs, drawn from path-keyed streams so attach
+  // order across paths cannot shift them.
+  Rng access_s = path_rng.fork("access-s");
+  Rng access_r = path_rng.fork("access-r");
+  overlay_->attach_host(rt->sender->id(), *rt->dc1, msec_f(sample.delta_s_ms), access_s);
+  overlay_->attach_host(rt->receiver->id(), *rt->dc2, msec_f(sample.delta_r_ms), access_r);
 
   // Forwarding-service routing: packets for this receiver entering DC1 ride
   // the inter-DC path to DC2, which has the access link to the receiver.
@@ -186,19 +217,23 @@ void WanScenario::build_path(geo::PathSample sample) {
   paths_.push_back(std::move(rt));
 }
 
-void WanScenario::run(SimDuration duration) {
+void ScenarioShard::run(SimDuration duration) {
   // One shared ON-interval schedule with small per-path skew: the
   // deployment's control channel keeps senders loosely synchronized so the
-  // encoder always sees concurrent streams (Section 6.2.1).
-  Rng sched_rng = rng_.fork("schedule");
+  // encoder always sees concurrent streams (Section 6.2.1). The schedule is
+  // derived purely from (seed, "schedule"), so every shard of one scenario
+  // computes the identical schedule.
+  Rng sched_rng = Rng::derived(params_.seed, "schedule");
   const auto schedule = transport::CbrApp::make_schedule(
       sim_.now(), sim_.now() + duration, params_.cbr, sched_rng);
   for (std::size_t i = 0; i < paths_.size(); ++i) {
+    const std::uint64_t pseed = path_seed(params_.seed, paths_[i]->global_index);
     transport::CbrParams p = params_.cbr;
-    p.initial_skew = static_cast<SimDuration>(rng_.uniform_int(0, msec(500)));
+    p.initial_skew = static_cast<SimDuration>(
+        Rng::derived(pseed, "cbr-skew").uniform_int(0, msec(500)));
     // CbrApp holds its params by value; rebuild with the skew.
     paths_[i]->app = std::make_unique<transport::CbrApp>(
-        sim_, *paths_[i]->sender, paths_[i]->flow, p, rng_.fork("cbr-run"));
+        sim_, *paths_[i]->sender, paths_[i]->flow, p, Rng::derived(pseed, "cbr-run"));
     paths_[i]->app->start_with_schedule(schedule, sim_.now() + duration);
   }
   sim_.run_until(sim_.now() + duration);
@@ -221,43 +256,28 @@ void WanScenario::run(SimDuration duration) {
   }
 }
 
-services::EncoderStats WanScenario::encoder_totals() const {
+services::EncoderStats ScenarioShard::encoder_totals() const {
   services::EncoderStats total;
-  for (const auto& e : encoders_) {
-    const auto& s = e->stats();
-    total.data_packets += s.data_packets;
-    total.in_batches += s.in_batches;
-    total.cross_batches += s.cross_batches;
-    total.coded_sent += s.coded_sent;
-    total.timer_flushes += s.timer_flushes;
-    total.single_packet_evictions += s.single_packet_evictions;
-    total.full_scan_flushes += s.full_scan_flushes;
-    total.unknown_flow += s.unknown_flow;
-  }
+  for (const auto& e : encoders_) total += e->stats();
   return total;
 }
 
-services::RecoveryStatsDc WanScenario::recovery_totals() const {
+services::RecoveryStatsDc ScenarioShard::recovery_totals() const {
   services::RecoveryStatsDc total;
-  for (const auto& r : recoverers_) {
-    const auto& s = r->stats();
-    total.nacks += s.nacks;
-    total.nack_keys += s.nack_keys;
-    total.in_stream_served += s.in_stream_served;
-    total.coop_ops += s.coop_ops;
-    total.coop_requests_sent += s.coop_requests_sent;
-    total.coop_responses += s.coop_responses;
-    total.coop_success += s.coop_success;
-    total.coop_deadline_failures += s.coop_deadline_failures;
-    total.recovered_sent += s.recovered_sent;
-    total.nack_checks_sent += s.nack_checks_sent;
-    total.nack_confirms += s.nack_confirms;
-    total.uncovered_keys += s.uncovered_keys;
-    total.straggler_responses += s.straggler_responses;
-    total.batches_stored += s.batches_stored;
-    total.batches_expired += s.batches_expired;
-  }
+  for (const auto& r : recoverers_) total += r->stats();
   return total;
 }
+
+WanScenario::WanScenario(std::vector<geo::PathSample> paths, const WanScenarioParams& params) {
+  std::vector<IndexedPath> indexed;
+  indexed.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    indexed.push_back(IndexedPath{i, std::move(paths[i])});
+  }
+  shard_ = std::make_unique<ScenarioShard>(std::move(indexed), params,
+                                           netsim::evq_default_backend());
+}
+
+WanScenario::~WanScenario() = default;
 
 }  // namespace jqos::exp

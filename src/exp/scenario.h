@@ -6,6 +6,17 @@
 // This is the machinery behind the Section 6.2 PlanetLab reproduction and
 // the case studies; benches and tests configure it differently (service
 // choice, loss mix, coding parameters) but share the wiring.
+//
+// The unit of execution is a ScenarioShard: one Simulator, one Network, one
+// overlay, and a subset of the scenario's paths. Every random stream a shard
+// consumes is derived (Rng::derive) from the scenario seed plus a stable
+// identity -- the path's GLOBAL index, or an overlay link's site names --
+// never from construction order. That is the shard determinism contract:
+// a path behaves bit-identically whether its shard holds 1 path or all of
+// them, which is what lets ShardedRunner (sharded_runner.h) split a 45-path
+// sweep across every core and still merge results identical to the
+// single-shard run. WanScenario below is the N=1 facade: the whole scenario
+// in one shard, with the pre-sharding public API intact.
 #pragma once
 
 #include <memory>
@@ -81,6 +92,10 @@ struct WanScenarioParams {
 struct PathRuntime {
   geo::PathSample path;
   std::string label;  // Region pair, e.g. "US-EU".
+  // The path's index within the FULL scenario (not within its shard): the
+  // stable identity all of its random streams are derived from, and the
+  // position it occupies in ShardedRunner's merged view.
+  std::size_t global_index = 0;
   double rtt_ms = 0.0;
   double give_up_rtts = 1.0;  // Success criterion (copied from params).
   FlowId flow = 0;
@@ -110,13 +125,25 @@ struct PathRuntime {
   }
 };
 
-class WanScenario {
- public:
-  WanScenario(std::vector<geo::PathSample> paths, const WanScenarioParams& params);
-  ~WanScenario();
+// One path plus its stable global index, the form ScenarioShard consumes.
+struct IndexedPath {
+  std::size_t global_index = 0;
+  geo::PathSample sample;
+};
 
-  WanScenario(const WanScenario&) = delete;
-  WanScenario& operator=(const WanScenario&) = delete;
+// One self-contained slice of a scenario: its own Simulator (explicit event
+// queue backend -- worker threads never consult process-global defaults),
+// Network, overlay (only the cloud sites its paths touch), service
+// instances, and derived random streams. Shards share NOTHING mutable; a
+// shard may be built and run on any thread.
+class ScenarioShard {
+ public:
+  ScenarioShard(std::vector<IndexedPath> paths, const WanScenarioParams& params,
+                netsim::EvqBackend backend);
+  ~ScenarioShard();
+
+  ScenarioShard(const ScenarioShard&) = delete;
+  ScenarioShard& operator=(const ScenarioShard&) = delete;
 
   // Runs the CBR workload on every path for `duration`, then drains
   // in-flight recoveries.
@@ -127,21 +154,22 @@ class WanScenario {
   const PathRuntime& path(std::size_t i) const { return *paths_.at(i); }
 
   netsim::Simulator& sim() { return sim_; }
+  const netsim::Simulator& sim() const { return sim_; }
   netsim::Network& net() { return net_; }
   overlay::OverlayNetwork& overlay() { return *overlay_; }
 
-  // Aggregate encoder/recovery statistics summed across DCs.
+  // Aggregate encoder/recovery statistics summed across this shard's DCs.
   services::EncoderStats encoder_totals() const;
   services::RecoveryStatsDc recovery_totals() const;
 
  private:
-  void build_overlay(const std::vector<geo::PathSample>& paths);
-  void build_path(geo::PathSample sample);
+  void build_overlay(const std::vector<IndexedPath>& paths);
+  void build_path(IndexedPath path);
 
   WanScenarioParams params_;
   netsim::Simulator sim_;
   netsim::Network net_;
-  Rng rng_;
+  Rng rng_;  // Overlay construction only; per-path streams are derived.
   services::FlowRegistryPtr registry_;
   std::unique_ptr<overlay::OverlayNetwork> overlay_;
   std::vector<std::shared_ptr<services::ForwardingService>> forwarders_;
@@ -150,6 +178,35 @@ class WanScenario {
   endpoint::SessionManager sessions_;
   std::vector<std::unique_ptr<PathRuntime>> paths_;
   FlowId next_flow_ = 1;
+};
+
+// The N=1 facade: the whole scenario in one shard, with the original
+// single-Simulator API. Tests and benches that want "a running deployment"
+// use this; figure drivers that want every core use ShardedRunner.
+class WanScenario {
+ public:
+  WanScenario(std::vector<geo::PathSample> paths, const WanScenarioParams& params);
+  ~WanScenario();
+
+  WanScenario(const WanScenario&) = delete;
+  WanScenario& operator=(const WanScenario&) = delete;
+
+  void run(SimDuration duration) { shard_->run(duration); }
+
+  std::size_t path_count() const { return shard_->path_count(); }
+  PathRuntime& path(std::size_t i) { return shard_->path(i); }
+  const PathRuntime& path(std::size_t i) const { return shard_->path(i); }
+
+  netsim::Simulator& sim() { return shard_->sim(); }
+  netsim::Network& net() { return shard_->net(); }
+  overlay::OverlayNetwork& overlay() { return shard_->overlay(); }
+
+  // Aggregate encoder/recovery statistics summed across DCs.
+  services::EncoderStats encoder_totals() const { return shard_->encoder_totals(); }
+  services::RecoveryStatsDc recovery_totals() const { return shard_->recovery_totals(); }
+
+ private:
+  std::unique_ptr<ScenarioShard> shard_;
 };
 
 }  // namespace jqos::exp

@@ -22,7 +22,7 @@ namespace {
 // cannot free a codec that another thread is mid-encode on. The codec is
 // constructed before the map is touched, so a throwing constructor (invalid
 // shape from corrupt metadata) leaves no empty slot behind.
-std::shared_ptr<const ReedSolomon> shared_codec(std::size_t k, std::size_t r) {
+std::shared_ptr<const ReedSolomon> shared_codec_slow(std::size_t k, std::size_t r) {
   constexpr std::size_t kMaxCachedShapes = 64;
   static std::mutex mu;
   static std::map<std::pair<std::size_t, std::size_t>, std::shared_ptr<const ReedSolomon>>
@@ -36,6 +36,27 @@ std::shared_ptr<const ReedSolomon> shared_codec(std::size_t k, std::size_t r) {
   const std::lock_guard<std::mutex> lock(mu);
   if (cache.size() >= kMaxCachedShapes) cache.clear();
   return cache.try_emplace({k, r}, std::move(codec)).first->second;
+}
+
+// Per-thread front for the global cache: one experiment shard (= one
+// thread) cycles through a handful of (k, r) shapes, so a tiny direct-
+// mapped thread_local table turns the steady-state decode path into two
+// integer compares -- no mutex, no sharing, no contention between shards.
+// Entries hold shared_ptr copies, so a global-cache flush can never free a
+// codec a thread still references.
+std::shared_ptr<const ReedSolomon> shared_codec(std::size_t k, std::size_t r) {
+  struct Entry {
+    std::size_t k = 0, r = 0;
+    std::shared_ptr<const ReedSolomon> codec;
+  };
+  constexpr std::size_t kTlsSlots = 8;
+  thread_local Entry tls[kTlsSlots];
+  Entry& e = tls[(k * 31 + r) % kTlsSlots];
+  if (e.codec && e.k == k && e.r == r) return e.codec;
+  e.codec = shared_codec_slow(k, r);
+  e.k = k;
+  e.r = r;
+  return e.codec;
 }
 
 // Shard framing: 2-byte original length prefix.

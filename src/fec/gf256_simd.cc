@@ -5,6 +5,7 @@
 // only those are built with -mssse3/-mavx2.
 #include "fec/gf256_simd.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
@@ -66,21 +67,38 @@ struct Dispatch {
   RowKernelFn rs_row;
 };
 
-Dispatch make_dispatch(GfBackend b) {
+// One immutable Dispatch per backend. gf_set_backend() swings an atomic
+// pointer between these rather than mutating a shared struct in place, so a
+// backend switch racing concurrent encoders (the sharded scenario runner
+// runs one shard per thread) is data-race-free: every reader sees one
+// coherent (backend, kernels) tuple, old or new, never a torn mix.
+const Dispatch& dispatch_entry(GfBackend b) {
+  static const Dispatch kAvx2{GfBackend::kAvx2, &gf_addmul_avx2, &gf_mul_buf_avx2,
+                              &gf_rs_row_avx2};
+  static const Dispatch kSsse3{GfBackend::kSsse3, &gf_addmul_ssse3, &gf_mul_buf_ssse3,
+                               &gf_rs_row_ssse3};
+  static const Dispatch kScalar{GfBackend::kScalar, &gf_addmul_scalar, &gf_mul_buf_scalar,
+                                &gf_rs_row_scalar};
   switch (b) {
     case GfBackend::kAvx2:
-      return {b, &gf_addmul_avx2, &gf_mul_buf_avx2, &gf_rs_row_avx2};
+      return kAvx2;
     case GfBackend::kSsse3:
-      return {b, &gf_addmul_ssse3, &gf_mul_buf_ssse3, &gf_rs_row_ssse3};
+      return kSsse3;
     case GfBackend::kScalar:
       break;
   }
-  return {GfBackend::kScalar, &gf_addmul_scalar, &gf_mul_buf_scalar, &gf_rs_row_scalar};
+  return kScalar;
 }
 
-Dispatch& dispatch() {
-  static Dispatch d = make_dispatch(gf_best_backend());
+std::atomic<const Dispatch*>& active_dispatch() {
+  // Thread-safe lazy init: the first caller probes the CPU and the env
+  // override; later callers (any thread) do a plain acquire load.
+  static std::atomic<const Dispatch*> d{&dispatch_entry(gf_best_backend())};
   return d;
+}
+
+const Dispatch& dispatch() {
+  return *active_dispatch().load(std::memory_order_acquire);
 }
 
 }  // namespace
@@ -126,7 +144,7 @@ GfBackend gf_best_backend() {
 
 bool gf_set_backend(GfBackend b) {
   if (!gf_backend_available(b)) return false;
-  detail::dispatch() = detail::make_dispatch(b);
+  detail::active_dispatch().store(&detail::dispatch_entry(b), std::memory_order_release);
   return true;
 }
 

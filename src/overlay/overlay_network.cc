@@ -12,12 +12,18 @@ OverlayNetwork::OverlayNetwork(netsim::Network& net, const std::vector<geo::Clou
                                const OverlayParams& params, Rng& rng)
     : net_(net), params_(params), sites_(sites), rng_(rng.fork("overlay")) {
   if (sites_.empty()) throw std::invalid_argument("OverlayNetwork: no sites");
+  link_seed_ = rng_.next_u64();
   dcs_.reserve(sites_.size());
   for (std::size_t i = 0; i < sites_.size(); ++i) {
     dcs_.push_back(
         std::make_unique<DataCenter>(net_, static_cast<DcId>(i), sites_[i].name));
   }
-  // Full mesh of inter-DC links (the cloud backbone).
+  // Full mesh of inter-DC links (the cloud backbone). Each directed link's
+  // jitter and loss streams are keyed by the endpoint site NAMES, not by
+  // construction order: an overlay built from any subset of a site catalog
+  // gives the link A->B the identical random sequence, so sharded scenario
+  // decompositions (each shard builds only the sites its paths touch) stay
+  // bit-identical to the monolithic run.
   for (std::size_t i = 0; i < dcs_.size(); ++i) {
     for (std::size_t j = 0; j < dcs_.size(); ++j) {
       if (i == j) continue;
@@ -26,9 +32,12 @@ OverlayNetwork::OverlayNetwork(netsim::Network& net, const std::vector<geo::Clou
       jp.base = msec_f(geo::propagation_ms(km, geo::kCloudInflation));
       jp.jitter_sigma = params_.inter_dc_jitter_sigma;
       jp.jitter_scale_ms = params_.inter_dc_jitter_scale_ms;
+      const std::string pair = sites_[i].name + ">" + sites_[j].name;
+      Rng lat_rng = Rng::derived(link_seed_, "dc-link:" + pair);
+      Rng loss_rng = Rng::derived(link_seed_, "dc-loss:" + pair);
       net_.add_link(dcs_[i]->id(), dcs_[j]->id(),
-                    netsim::make_jitter_latency(jp, rng_.fork("dc-link")),
-                    netsim::make_bernoulli_loss(params_.inter_dc_loss, rng_.fork("dc-loss")));
+                    netsim::make_jitter_latency(jp, lat_rng),
+                    netsim::make_bernoulli_loss(params_.inter_dc_loss, loss_rng));
     }
   }
 }
@@ -48,14 +57,19 @@ DataCenter& OverlayNetwork::nearest_dc(const geo::GeoPoint& p) {
 }
 
 void OverlayNetwork::attach_host(NodeId host, DataCenter& dc, SimDuration one_way_delay) {
+  attach_host(host, dc, one_way_delay, rng_);
+}
+
+void OverlayNetwork::attach_host(NodeId host, DataCenter& dc, SimDuration one_way_delay,
+                                 Rng& rng) {
   netsim::JitterParams jp;
   jp.base = one_way_delay;
   jp.jitter_sigma = params_.access_jitter_sigma;
   jp.jitter_scale_ms = params_.access_jitter_scale_ms;
-  net_.add_link(host, dc.id(), netsim::make_jitter_latency(jp, rng_.fork("up")),
-                netsim::make_bernoulli_loss(params_.access_loss, rng_.fork("up-loss")));
-  net_.add_link(dc.id(), host, netsim::make_jitter_latency(jp, rng_.fork("down")),
-                netsim::make_bernoulli_loss(params_.access_loss, rng_.fork("down-loss")));
+  net_.add_link(host, dc.id(), netsim::make_jitter_latency(jp, rng.fork("up")),
+                netsim::make_bernoulli_loss(params_.access_loss, rng.fork("up-loss")));
+  net_.add_link(dc.id(), host, netsim::make_jitter_latency(jp, rng.fork("down")),
+                netsim::make_bernoulli_loss(params_.access_loss, rng.fork("down-loss")));
 }
 
 }  // namespace jqos::overlay

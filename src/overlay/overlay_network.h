@@ -30,6 +30,13 @@ struct OverlayParams {
 
 class OverlayNetwork {
  public:
+  // Every stochastic process the overlay owns (inter-DC jitter/loss, access
+  // links added through the legacy attach_host overload) draws from a stream
+  // derived from (rng-derived base seed, stable link identity) -- site names
+  // for the backbone mesh -- NOT from construction order. Two overlays built
+  // from different subsets of the same site catalog therefore give each
+  // shared link an identical random sequence, which is what lets the sharded
+  // scenario runner split paths across shards without perturbing results.
   OverlayNetwork(netsim::Network& net, const std::vector<geo::CloudSite>& sites,
                  const OverlayParams& params, Rng& rng);
 
@@ -44,8 +51,13 @@ class OverlayNetwork {
   DataCenter& nearest_dc(const geo::GeoPoint& p);
 
   // Installs bidirectional access links between a host node and a DC with
-  // the given one-way base delay.
+  // the given one-way base delay. The overload taking an Rng draws the
+  // links' jitter/loss streams from it -- pass a stream keyed to a stable
+  // identity (e.g. the path's global index) for composition-invariant runs;
+  // the legacy overload draws from the overlay's own sequential stream and
+  // therefore depends on attach order.
   void attach_host(NodeId host, DataCenter& dc, SimDuration one_way_delay);
+  void attach_host(NodeId host, DataCenter& dc, SimDuration one_way_delay, Rng& rng);
 
   const geo::CloudSite& site(std::size_t index) const { return sites_.at(index); }
 
@@ -55,6 +67,9 @@ class OverlayNetwork {
   std::vector<geo::CloudSite> sites_;
   std::vector<std::unique_ptr<DataCenter>> dcs_;
   Rng rng_;
+  // Base seed for name-keyed link streams; drawn once from the ctor rng so
+  // equal-state ctor rngs (e.g. every shard of one scenario) agree on it.
+  std::uint64_t link_seed_ = 0;
 };
 
 }  // namespace jqos::overlay

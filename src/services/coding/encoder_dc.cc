@@ -167,7 +167,16 @@ bool CodingEncoderService::queue_contains_flow(const Queue& q, FlowId flow) cons
 }
 
 void CodingEncoderService::flush_all() {
-  for (auto& [flow, q] : in_qs_) {
+  // Flush in ascending FlowId order, not hash order: flows are numbered in
+  // path-registration order, so the flush sequence -- and therefore the
+  // send order on shared inter-DC links -- is identical whether this
+  // encoder serves one experiment shard or the monolithic run.
+  std::vector<FlowId> flows;
+  flows.reserve(in_qs_.size());
+  for (const auto& [flow, q] : in_qs_) flows.push_back(flow);
+  std::sort(flows.begin(), flows.end());
+  for (FlowId flow : flows) {
+    Queue& q = in_qs_[flow];
     if (q.pkts.empty()) continue;
     const FlowInfo* info = registry_->find(flow);
     if (info == nullptr) {

@@ -30,6 +30,20 @@ struct EncoderStats {
   std::uint64_t single_packet_evictions = 0;  // Algorithm 1 line 18.
   std::uint64_t full_scan_flushes = 0;        // Algorithm 1 lines 13-16.
   std::uint64_t unknown_flow = 0;
+
+  // The one merge definition every totals path (per-shard and cross-shard)
+  // uses; a new field added here is summed everywhere or nowhere.
+  EncoderStats& operator+=(const EncoderStats& o) {
+    data_packets += o.data_packets;
+    in_batches += o.in_batches;
+    cross_batches += o.cross_batches;
+    coded_sent += o.coded_sent;
+    timer_flushes += o.timer_flushes;
+    single_packet_evictions += o.single_packet_evictions;
+    full_scan_flushes += o.full_scan_flushes;
+    unknown_flow += o.unknown_flow;
+    return *this;
+  }
 };
 
 class CodingEncoderService final : public overlay::DcService {

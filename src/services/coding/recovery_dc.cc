@@ -15,11 +15,6 @@ RecoveryService::RecoveryService(overlay::DataCenter& dc, const RecoveryParams& 
 
 bool RecoveryService::handle(overlay::DataCenter& dc, const PacketPtr& pkt) {
   (void)dc;
-  // Opportunistic TTL sweep, at most once per second of simulated time.
-  if (dc_.now() - last_sweep_ >= sec(1)) {
-    last_sweep_ = dc_.now();
-    sweep_batches();
-  }
   switch (pkt->type) {
     case PacketType::kInCoded:
     case PacketType::kCrossCoded:
@@ -61,6 +56,7 @@ void RecoveryService::on_coded(const PacketPtr& pkt) {
     }
   }
   batch.coded.push_back(pkt);
+  arm_sweep();
 
   // A coded packet may unblock recoveries waiting on it. The pending NACK
   // predates this coverage, so re-verify with the receiver first: at burst
@@ -118,7 +114,7 @@ void RecoveryService::on_nack(const PacketPtr& pkt, bool confirm) {
       bool old_enough = false;
       for (std::uint32_t id : kit->second) {
         auto bit = batches_.find(id);
-        if (bit != batches_.end() &&
+        if (bit != batches_.end() && batch_fresh(bit->second) &&
             dc_.now() - bit->second.first_seen >= params_.tail_min_batch_age) {
           old_enough = true;
           break;
@@ -156,6 +152,7 @@ void RecoveryService::on_nack(const PacketPtr& pkt, bool confirm) {
     PendingNack& pending = pending_[key];
     pending.receiver = receiver;
     pending.expires_at = dc_.now() + params_.pending_nack_ttl;
+    arm_sweep();
     if (confirm) {
       // Confirmed but still no coverage: keep waiting for coded packets
       // (their arrival triggers a fresh check).
@@ -189,7 +186,9 @@ RecoveryService::BatchState* RecoveryService::cross_batch_for(const PacketKey& k
   if (it == key_index_.end()) return nullptr;
   for (std::uint32_t id : it->second) {
     auto bit = batches_.find(id);
-    if (bit != batches_.end() && bit->second.is_cross) return &bit->second;
+    if (bit != batches_.end() && bit->second.is_cross && batch_fresh(bit->second)) {
+      return &bit->second;
+    }
   }
   return nullptr;
 }
@@ -199,7 +198,9 @@ RecoveryService::BatchState* RecoveryService::in_batch_for(const PacketKey& key)
   if (it == key_index_.end()) return nullptr;
   for (std::uint32_t id : it->second) {
     auto bit = batches_.find(id);
-    if (bit != batches_.end() && !bit->second.is_cross) return &bit->second;
+    if (bit != batches_.end() && !bit->second.is_cross && batch_fresh(bit->second)) {
+      return &bit->second;
+    }
   }
   return nullptr;
 }
@@ -337,6 +338,21 @@ void RecoveryService::finish_op_failure(std::uint32_t batch_id) {
   }
   JQOS_DEBUG(dc_.name() << ": cooperative recovery deadline for batch " << batch_id);
   ops_.erase(it);  // Fails silently (Section 4.4).
+}
+
+void RecoveryService::arm_sweep() {
+  if (sweep_armed_) return;
+  sweep_armed_ = true;
+  // Fire at the NEXT whole simulated second. Aligning sweeps to an absolute
+  // grid (rather than "one second after whatever arrived first") keeps
+  // reclamation timing -- and the batches_expired counter -- a pure function
+  // of store times, independent of unrelated traffic sharing this DC.
+  const SimTime next_tick = (dc_.now() / sec(1) + 1) * sec(1);
+  dc_.network().sim().at(next_tick, [this] {
+    sweep_armed_ = false;
+    sweep_batches();
+    if (!batches_.empty() || !pending_.empty()) arm_sweep();
+  });
 }
 
 void RecoveryService::sweep_batches() {

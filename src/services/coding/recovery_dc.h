@@ -63,6 +63,28 @@ struct RecoveryStatsDc {
   std::uint64_t batches_stored = 0;
   std::uint64_t batches_expired = 0;
   std::uint64_t recheck_probes = 0;  // Coverage arrived for a pending NACK.
+
+  // The one merge definition every totals path (per-shard and cross-shard)
+  // uses; a new field added here is summed everywhere or nowhere.
+  RecoveryStatsDc& operator+=(const RecoveryStatsDc& o) {
+    nacks += o.nacks;
+    nack_keys += o.nack_keys;
+    in_stream_served += o.in_stream_served;
+    coop_ops += o.coop_ops;
+    coop_requests_sent += o.coop_requests_sent;
+    coop_responses += o.coop_responses;
+    coop_success += o.coop_success;
+    coop_deadline_failures += o.coop_deadline_failures;
+    recovered_sent += o.recovered_sent;
+    nack_checks_sent += o.nack_checks_sent;
+    nack_confirms += o.nack_confirms;
+    uncovered_keys += o.uncovered_keys;
+    straggler_responses += o.straggler_responses;
+    batches_stored += o.batches_stored;
+    batches_expired += o.batches_expired;
+    recheck_probes += o.recheck_probes;
+    return *this;
+  }
 };
 
 class RecoveryService final : public overlay::DcService {
@@ -121,7 +143,22 @@ class RecoveryService final : public overlay::DcService {
 
   void maybe_finish_op(CoopOp& op);
   void finish_op_failure(std::uint32_t batch_id);
+
+  // Reclaims expired batches / pending NACKs. Freshness is enforced lazily
+  // at lookup time (batch_fresh), so the sweep only frees memory and bumps
+  // batches_expired -- its timing can never change recovery behavior. The
+  // sweep itself runs on a timer aligned to the whole-second simulated-time
+  // grid: the set of (batch, sweep-tick) expiry decisions is then a pure
+  // function of store times, not of which flow's packet happened to arrive
+  // first -- the property the sharded runner's merge-determinism relies on
+  // when unrelated path groups share one recovery DC.
   void sweep_batches();
+  void arm_sweep();
+
+  // TTL filter applied on every lookup; see sweep_batches().
+  bool batch_fresh(const BatchState& b) const {
+    return dc_.now() - b.first_seen <= params_.batch_ttl;
+  }
 
   BatchState* cross_batch_for(const PacketKey& key);
   BatchState* in_batch_for(const PacketKey& key);
@@ -134,7 +171,7 @@ class RecoveryService final : public overlay::DcService {
   std::unordered_map<PacketKey, std::vector<std::uint32_t>> key_index_;
   std::unordered_map<std::uint32_t, CoopOp> ops_;
   std::unordered_map<PacketKey, PendingNack> pending_;
-  SimTime last_sweep_ = 0;
+  bool sweep_armed_ = false;
 
   // Scratch for the zero-copy decode path (see fec::decode_batch's arena
   // overload): grows to the largest batch shape once, then every decode

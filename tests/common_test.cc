@@ -2,7 +2,9 @@
 // NACK payloads, statistics, and the deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <set>
 
 #include "common/logging.h"
 #include "common/packet.h"
@@ -254,6 +256,58 @@ TEST(Rng, ForkProducesIndependentStreams) {
   // Successive forks and distinct labels must differ.
   EXPECT_NE(c1.next_u64(), c2.next_u64());
   EXPECT_NE(c1.next_u64(), c3.next_u64());
+}
+
+TEST(Rng, DeriveIsPureAndReproducible) {
+  // Same (seed, stream) -> same sub-stream, independent of any other
+  // derivation happening before or between.
+  const std::uint64_t a = Rng::derive(42, 7);
+  Rng::derive(42, 8);
+  Rng::derive(99, 7);
+  EXPECT_EQ(Rng::derive(42, 7), a);
+  Rng r1 = Rng::derived(42, 7);
+  Rng r2 = Rng::derived(42, 7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(r1.next_u64(), r2.next_u64());
+}
+
+TEST(Rng, DeriveStabilityGuarantee) {
+  // The mapping is FROZEN (see rng.h): sharded experiment decomposition and
+  // archived fingerprints depend on these exact values. If this test fails,
+  // the derivation function changed -- that is a determinism contract break,
+  // not a test to update.
+  EXPECT_EQ(Rng::derive(0, 0), 0xa706dd2f4d197e6fULL);
+  EXPECT_EQ(Rng::derive(1, 0), 0x5e41ab087439611eULL);
+  EXPECT_EQ(Rng::derive(42, 1), Rng::derive(42, 1));
+  EXPECT_EQ(Rng::derive(42, "schedule"), Rng::derive(42, "schedule"));
+  EXPECT_NE(Rng::derive(42, "schedule"), Rng::derive(42, "overlay"));
+}
+
+TEST(Rng, DeriveAdjacentStreamsUncorrelated) {
+  // Shards are numbered 0..N-1; adjacent ids must give statistically
+  // unrelated streams. Cheap guards: distinct seeds, bitwise-decorrelated
+  // first outputs, and mean of XORed bit counts near 32.
+  const std::uint64_t s0 = Rng::derive(1234, 0);
+  const std::uint64_t s1 = Rng::derive(1234, 1);
+  EXPECT_NE(s0, s1);
+  double bits = 0;
+  Rng a(s0), b(s1);
+  constexpr int kDraws = 4096;
+  for (int i = 0; i < kDraws; ++i) {
+    bits += static_cast<double>(std::popcount(a.next_u64() ^ b.next_u64()));
+  }
+  EXPECT_NEAR(bits / kDraws, 32.0, 1.0);
+}
+
+TEST(Rng, DeriveDistinctAcrossSeedsAndStreams) {
+  // No collisions over a grid of small seeds x small stream ids (the shapes
+  // real scenarios use: seed from config, stream = global path index).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    for (std::uint64_t stream = 0; stream < 64; ++stream) {
+      EXPECT_TRUE(seen.insert(Rng::derive(seed, stream)).second)
+          << "collision at seed=" << seed << " stream=" << stream;
+    }
+  }
 }
 
 TEST(Rng, UniformIntCoversRangeInclusive) {

@@ -11,11 +11,13 @@
 // simulator events/sec); --quick shrinks the call to a CI smoke preset.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <unordered_map>
 
 #include "bench_json.h"
 
 #include "app/psnr.h"
+#include "common/parallel.h"
 #include "app/video.h"
 #include "endpoint/session.h"
 #include "exp/report.h"
@@ -36,6 +38,7 @@ struct SkypeRun {
   std::uint64_t inter_dc_packets = 0;
   std::uint64_t events = 0;
   double wall_sec = 0.0;
+  std::string diag;  // Deferred stderr diagnostics (printed in case order).
 };
 
 // One experiment: a video call on a 50 ms one-way path with a 30 s outage
@@ -185,32 +188,36 @@ SkypeRun run_case(ServiceType service, bool mobile_access, std::uint64_t seed, b
   out.inter_dc_bytes = inter_dc->stats().offered_bytes;
   out.inter_dc_packets = inter_dc->stats().offered_packets;
   const auto& rs = receiver.stats();
-  std::fprintf(stderr,
-               "  [%s] direct=%llu recovered=%llu self=%llu nacks=%llu tail=%llu "
-               "giveup=%llu enc_evict=%llu rec_coop=%llu rec_dead=%llu uncov=%llu\n",
-               to_string(service), (unsigned long long)rs.delivered_direct,
-               (unsigned long long)rs.delivered_recovered,
-               (unsigned long long)rs.self_decoded, (unsigned long long)rs.nacks_sent,
-               (unsigned long long)rs.tail_nacks_sent,
-               (unsigned long long)rs.losses_given_up,
-               (unsigned long long)encoder->stats().single_packet_evictions,
-               (unsigned long long)recovery->stats().coop_success,
-               (unsigned long long)recovery->stats().coop_deadline_failures,
-               (unsigned long long)recovery->stats().uncovered_keys);
-  std::fprintf(stderr,
-               "      enc data=%llu cross_b=%llu coded=%llu timerfl=%llu | dc2 stored=%llu expired=%llu instream=%llu checks=%llu confirms=%llu\n",
-               (unsigned long long)encoder->stats().data_packets,
-               (unsigned long long)encoder->stats().cross_batches,
-               (unsigned long long)encoder->stats().coded_sent,
-               (unsigned long long)encoder->stats().timer_flushes,
-               (unsigned long long)recovery->stats().batches_stored,
-               (unsigned long long)recovery->stats().batches_expired,
-               (unsigned long long)recovery->stats().in_stream_served,
-               (unsigned long long)recovery->stats().nack_checks_sent,
-               (unsigned long long)recovery->stats().nack_confirms);
-  std::fprintf(stderr, "      rechecks=%llu nack_keys=%llu\n",
-               (unsigned long long)recovery->stats().recheck_probes,
-               (unsigned long long)recovery->stats().nack_keys);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  [%s] direct=%llu recovered=%llu self=%llu nacks=%llu tail=%llu "
+                "giveup=%llu enc_evict=%llu rec_coop=%llu rec_dead=%llu uncov=%llu\n",
+                to_string(service), (unsigned long long)rs.delivered_direct,
+                (unsigned long long)rs.delivered_recovered,
+                (unsigned long long)rs.self_decoded, (unsigned long long)rs.nacks_sent,
+                (unsigned long long)rs.tail_nacks_sent,
+                (unsigned long long)rs.losses_given_up,
+                (unsigned long long)encoder->stats().single_packet_evictions,
+                (unsigned long long)recovery->stats().coop_success,
+                (unsigned long long)recovery->stats().coop_deadline_failures,
+                (unsigned long long)recovery->stats().uncovered_keys);
+  out.diag += buf;
+  std::snprintf(buf, sizeof(buf),
+                "      enc data=%llu cross_b=%llu coded=%llu timerfl=%llu | dc2 stored=%llu expired=%llu instream=%llu checks=%llu confirms=%llu\n",
+                (unsigned long long)encoder->stats().data_packets,
+                (unsigned long long)encoder->stats().cross_batches,
+                (unsigned long long)encoder->stats().coded_sent,
+                (unsigned long long)encoder->stats().timer_flushes,
+                (unsigned long long)recovery->stats().batches_stored,
+                (unsigned long long)recovery->stats().batches_expired,
+                (unsigned long long)recovery->stats().in_stream_served,
+                (unsigned long long)recovery->stats().nack_checks_sent,
+                (unsigned long long)recovery->stats().nack_confirms);
+  out.diag += buf;
+  std::snprintf(buf, sizeof(buf), "      rechecks=%llu nack_keys=%llu\n",
+                (unsigned long long)recovery->stats().recheck_probes,
+                (unsigned long long)recovery->stats().nack_keys);
+  out.diag += buf;
   return out;
 }
 
@@ -222,10 +229,22 @@ int main(int argc, char** argv) {
   const bool quick = bench::want_flag(argc, argv, "--quick");
   if (!json) std::printf("== Figure 9(a): Skype QoE under a 30 s outage ==\n");
 
-  const SkypeRun internet = run_case(ServiceType::kNone, false, 101, quick);
-  const SkypeRun fwd = run_case(ServiceType::kForward, false, 102, quick);
-  const SkypeRun crwan = run_case(ServiceType::kCode, false, 103, quick);
-  const SkypeRun crwan_mobile = run_case(ServiceType::kCode, true, 104, quick);
+  // The four treatments are independent deterministic sims: run them across
+  // the worker pool (JQOS_SIM_THREADS) and report in fixed order after.
+  SkypeRun cases[4];
+  parallel_for_indexed(4, resolve_sim_threads(0), [&](std::size_t i) {
+    switch (i) {
+      case 0: cases[0] = run_case(ServiceType::kNone, false, 101, quick); break;
+      case 1: cases[1] = run_case(ServiceType::kForward, false, 102, quick); break;
+      case 2: cases[2] = run_case(ServiceType::kCode, false, 103, quick); break;
+      case 3: cases[3] = run_case(ServiceType::kCode, true, 104, quick); break;
+    }
+  });
+  for (const SkypeRun& r : cases) std::fputs(r.diag.c_str(), stderr);
+  const SkypeRun& internet = cases[0];
+  const SkypeRun& fwd = cases[1];
+  const SkypeRun& crwan = cases[2];
+  const SkypeRun& crwan_mobile = cases[3];
 
   if (json) {
     const auto row = [](const char* treatment, const SkypeRun& r) {

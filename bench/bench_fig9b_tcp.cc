@@ -4,17 +4,31 @@
 // without J-QoS, plus the Section 6.4 selective-duplication experiment
 // (SYN-ACK-only duplication).
 //
+// On top of the four treatment cases, the bench sweeps the full congestion
+// control x queue discipline matrix ({reno, rack, bbr} x {taildrop, red,
+// codel}) over a finite-bandwidth bottleneck, reporting FCT percentiles,
+// retransmissions, ECN marks, and queue drops per combination — the
+// cross-product the pluggable transport/link policy layers exist for.
+//
+// Every case is an independent deterministic simulation, so the sweep runs
+// one case per worker thread (JQOS_SIM_THREADS controls the pool); rows and
+// diagnostics are buffered and printed in fixed order afterwards, keeping
+// the output byte-stable for any thread count.
+//
 // Flags: --requests N (default 2000; the paper uses 10000); --quick shrinks
-// to 300 requests; --json emits per-treatment JSON Lines rows (FCT
-// percentiles, tail reduction, simulator events/sec) for CI diffing.
+// to 300 requests; --json emits per-treatment and per-matrix-cell JSON
+// Lines rows (FCT percentiles, tail reduction, simulator events/sec) for
+// CI diffing.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "bench_json.h"
 
 #include "app/web.h"
+#include "common/parallel.h"
 #include "exp/report.h"
 #include "netsim/network.h"
 #include "overlay/datacenter.h"
@@ -36,6 +50,7 @@ struct CaseRun {
   std::uint64_t retransmits = 0;
   std::uint64_t events = 0;
   double wall_sec = 0.0;
+  std::string diag;  // Deferred stderr diagnostics (printed in case order).
 };
 
 CaseRun run_case(Mode mode, std::size_t requests, std::uint64_t seed) {
@@ -123,13 +138,91 @@ CaseRun run_case(Mode mode, std::size_t requests, std::uint64_t seed) {
       app::run_web_workload(net, server, client, sessions, req, params);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  std::fprintf(stderr, "  [mode %d] completed=%zu timeouts=%llu retransmits=%llu\n",
-               static_cast<int>(mode), result.completed,
-               static_cast<unsigned long long>(result.server.timeouts),
-               static_cast<unsigned long long>(result.server.retransmits));
-  return {result.fct_ms, result.completed, result.server.timeouts,
-          result.server.retransmits, sim.events_processed(), wall};
+  CaseRun out{result.fct_ms, result.completed, result.server.timeouts,
+              result.server.retransmits, sim.events_processed(), wall, {}};
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  [mode %d] completed=%zu timeouts=%llu retransmits=%llu\n",
+                static_cast<int>(mode), result.completed,
+                static_cast<unsigned long long>(result.server.timeouts),
+                static_cast<unsigned long long>(result.server.retransmits));
+  out.diag = line;
+  return out;
 }
+
+// One cell of the cc x aqm matrix: plain TCP (no overlay) moving 200 KB
+// responses through a 2 Mbps bottleneck whose 32 KB buffer runs the given
+// discipline. The transfer is long enough to build a standing queue (the
+// regime where the disciplines actually differ: tail drop overflows, RED
+// and CoDel mark ECT segments early), and the wire is lossless, so every
+// retransmission and mark traces back to queue pressure — the congestion
+// controller and the queue policy are the only variables.
+struct MatrixRun {
+  CaseRun run;
+  netsim::LinkStats bottleneck;
+  std::uint64_t ecn_echoes = 0;
+};
+
+MatrixRun run_matrix_case(transport::CcKind cc, netsim::QdiscKind aqm,
+                          std::size_t requests, std::uint64_t seed) {
+  netsim::Simulator sim;
+  netsim::Network net(sim, {}, seed);  // Seeds RED's mark lottery.
+  auto registry = std::make_shared<services::FlowRegistry>();
+  endpoint::Sender server(net);
+  endpoint::ReceiverConfig rc;
+  rc.rtt_estimate = msec(200);
+  rc.recovery_give_up = msec(250);
+  endpoint::Receiver client(net, rc);
+
+  netsim::QdiscConfig qd;
+  qd.kind = aqm;
+  qd.limit_bytes = 32 * 1024;  // ~23 packets; well below the ~200 KB needed.
+  net.add_link(server.id(), client.id(), netsim::make_fixed_latency(msec(100)),
+               netsim::make_no_loss(), 2e6, /*preserve_order=*/true, qd);
+  net.add_link(client.id(), server.id(), netsim::make_fixed_latency(msec(100)),
+               netsim::make_no_loss());
+
+  endpoint::SessionManager sessions(registry);
+  endpoint::RegisterRequest req;
+  req.force_service = ServiceType::kNone;
+
+  app::WebWorkloadParams params;
+  // A quarter of the treatment count: each matrix transfer is 4x the bytes.
+  params.requests = requests / 4 > 50 ? requests / 4 : 50;
+  params.response_bytes = 200 * 1000;
+  params.request_bytes = 12;
+  params.tcp.cc = cc;
+  params.tcp.ecn = true;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const app::WebResult result =
+      app::run_web_workload(net, server, client, sessions, req, params);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  MatrixRun out;
+  out.run = {result.fct_ms, result.completed, result.server.timeouts,
+             result.server.retransmits, sim.events_processed(), wall, {}};
+  out.bottleneck = net.link(server.id(), client.id())->stats();
+  out.ecn_echoes = result.server.ecn_echoes;
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "  [%s/%s] completed=%zu retransmits=%llu timeouts=%llu marks=%llu "
+                "qdrops=%llu\n",
+                transport::cc_kind_name(cc), netsim::qdisc_kind_name(aqm),
+                result.completed,
+                static_cast<unsigned long long>(result.server.retransmits),
+                static_cast<unsigned long long>(result.server.timeouts),
+                static_cast<unsigned long long>(out.bottleneck.ecn_marked),
+                static_cast<unsigned long long>(out.bottleneck.queue_drops));
+  out.run.diag = line;
+  return out;
+}
+
+constexpr transport::CcKind kCcs[] = {transport::CcKind::kReno, transport::CcKind::kRack,
+                                      transport::CcKind::kBbrLite};
+constexpr netsim::QdiscKind kAqms[] = {netsim::QdiscKind::kTailDrop,
+                                       netsim::QdiscKind::kRed, netsim::QdiscKind::kCoDel};
 
 }  // namespace
 
@@ -147,10 +240,27 @@ int main(int argc, char** argv) {
     std::printf("== Figure 9(b): TCP FCT under bursty loss (%zu requests) ==\n", requests);
   }
 
-  const CaseRun plain_run = run_case(Mode::kPlain, requests, 1);
-  const CaseRun jqos_run = run_case(Mode::kJqosCrwan, requests, 1);
-  const CaseRun fulldup_run = run_case(Mode::kJqosFullForward, requests, 1);
-  const CaseRun synack_run = run_case(Mode::kJqosSynAckOnly, requests, 1);
+  // All 13 cases (4 treatments + the 3x3 matrix) are independent sims; run
+  // them across the worker pool and report in fixed order afterwards.
+  CaseRun treatment[4];
+  MatrixRun matrix[9];
+  const unsigned threads = resolve_sim_threads(0);
+  parallel_for_indexed(13, threads, [&](std::size_t i) {
+    if (i < 4) {
+      treatment[i] = run_case(static_cast<Mode>(i), requests, 1);
+    } else {
+      const std::size_t m = i - 4;
+      matrix[m] = run_matrix_case(kCcs[m / 3], kAqms[m % 3], requests,
+                                  0x9b00 + static_cast<std::uint64_t>(m));
+    }
+  });
+  for (const CaseRun& r : treatment) std::fputs(r.diag.c_str(), stderr);
+  for (const MatrixRun& r : matrix) std::fputs(r.run.diag.c_str(), stderr);
+
+  const CaseRun& plain_run = treatment[0];
+  const CaseRun& jqos_run = treatment[1];
+  const CaseRun& fulldup_run = treatment[2];
+  const CaseRun& synack_run = treatment[3];
   const Samples& plain = plain_run.fct_ms;
   const Samples& jqos = jqos_run.fct_ms;
   const Samples& fulldup = fulldup_run.fct_ms;
@@ -197,10 +307,10 @@ int main(int argc, char** argv) {
   const double full_cut = 100.0 * (1.0 - tail_mean(fulldup) / plain_tail);
   const double synack_cut = 100.0 * (1.0 - tail_mean(synack) / plain_tail);
   if (json) {
-    const auto emit = [&](const char* treatment, const CaseRun& r, double tail_cut) {
+    const auto emit = [&](const char* treatment_name, const CaseRun& r, double tail_cut) {
       bench::JsonRow("fig9b_tcp")
           .add("name", "treatment")
-          .add("treatment", treatment)
+          .add("treatment", treatment_name)
           .add("requests", static_cast<std::uint64_t>(requests))
           .add("completed", static_cast<std::uint64_t>(r.completed))
           .add("p50_ms", r.fct_ms.percentile(50))
@@ -219,6 +329,29 @@ int main(int argc, char** argv) {
     emit("crwan", jqos_run, crwan_cut);
     emit("full_dup", fulldup_run, full_cut);
     emit("synack_only", synack_run, synack_cut);
+    for (std::size_t m = 0; m < 9; ++m) {
+      const MatrixRun& r = matrix[m];
+      bench::JsonRow("fig9b_tcp")
+          .add("name", "cc_aqm")
+          .add("cc", transport::cc_kind_name(kCcs[m / 3]))
+          .add("aqm", netsim::qdisc_kind_name(kAqms[m % 3]))
+          .add("requests", static_cast<std::uint64_t>(r.run.completed))
+          .add("completed", static_cast<std::uint64_t>(r.run.completed))
+          .add("p50_ms", r.run.fct_ms.percentile(50))
+          .add("p99_ms", r.run.fct_ms.percentile(99))
+          .add("max_ms", r.run.fct_ms.max())
+          .add("timeouts", r.run.timeouts)
+          .add("retransmits", r.run.retransmits)
+          .add("ecn_marks", r.bottleneck.ecn_marked)
+          .add("ecn_echoes", r.ecn_echoes)
+          .add("queue_drops", r.bottleneck.queue_drops)
+          .add("max_queue_bytes", r.bottleneck.max_queue_bytes)
+          .add("sim_events", r.run.events)
+          .add("events_per_sec",
+               r.run.wall_sec > 0 ? static_cast<double>(r.run.events) / r.run.wall_sec
+                                  : 0.0)
+          .emit();
+    }
     return 0;
   }
   exp::print_claim("Fig9b J-QoS reduces tail", "J-QoS (CR-WAN) cuts the FCT tail",
@@ -227,5 +360,19 @@ int main(int argc, char** argv) {
                    "tail-mean reduction = " + exp::Table::num(full_cut, 0) + "%");
   exp::print_claim("Sec6.4 selective duplication", "SYN-ACK-only cuts tail ~33%",
                    "tail-mean reduction = " + exp::Table::num(synack_cut, 0) + "%");
+
+  exp::Table mt({"cc", "aqm", "p50 (ms)", "p99 (ms)", "retx", "timeouts", "ECN marks",
+                 "queue drops"});
+  for (std::size_t m = 0; m < 9; ++m) {
+    const MatrixRun& r = matrix[m];
+    mt.add_row({transport::cc_kind_name(kCcs[m / 3]), netsim::qdisc_kind_name(kAqms[m % 3]),
+                exp::Table::num(r.run.fct_ms.percentile(50), 0),
+                exp::Table::num(r.run.fct_ms.percentile(99), 0),
+                exp::Table::num(static_cast<double>(r.run.retransmits), 0),
+                exp::Table::num(static_cast<double>(r.run.timeouts), 0),
+                exp::Table::num(static_cast<double>(r.bottleneck.ecn_marked), 0),
+                exp::Table::num(static_cast<double>(r.bottleneck.queue_drops), 0)});
+  }
+  mt.print("congestion control x queue discipline, 2 Mbps / 32 KB bottleneck");
   return 0;
 }

@@ -13,8 +13,9 @@
 #include <cstdio>
 
 #include "bench_json.h"
+#include "common/parallel.h"
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/sharded_runner.h"
 
 namespace {
 
@@ -48,7 +49,14 @@ Row run_service(const char* name, ServiceType service, std::uint64_t seed, bool 
   params.cbr.mean_off = quick ? sec(15) : sec(45);
   params.cbr.packets_per_second = 25.0;
   params.cbr.payload_bytes = 512;
-  exp::WanScenario scenario(std::move(paths), params);
+  // The multi-core scenario path: identical merged results to the
+  // monolithic WanScenario for any shard/thread count (see
+  // exp/sharded_runner.h). With one DC pair the paths form a single
+  // interaction group, so the runner packs them into one shard; the
+  // cross-service parallelism lives in main().
+  exp::ShardedRunParams run_params;
+  run_params.num_threads = 1;  // main() already fans services across cores.
+  exp::ShardedRunner scenario(std::move(paths), params, run_params);
   scenario.run(quick ? minutes(2) : minutes(10));
 
   Row row;
@@ -73,8 +81,12 @@ Row run_service(const char* name, ServiceType service, std::uint64_t seed, bool 
   // DC2, DC2 -> receiver), caching pays once plus pulls, coding pays the
   // coded fraction plus recovery traffic.
   std::uint64_t egress = 0;
-  auto& overlay = scenario.overlay();
-  for (std::size_t i = 0; i < overlay.dc_count(); ++i) egress += overlay.dc(i).egress_bytes();
+  for (std::size_t si = 0; si < scenario.shard_count(); ++si) {
+    auto& overlay = scenario.shard(si).overlay();
+    for (std::size_t i = 0; i < overlay.dc_count(); ++i) {
+      egress += overlay.dc(i).egress_bytes();
+    }
+  }
   const double delivered_kb =
       static_cast<double>(delivered + recovered) * 512.0 / 1000.0;
   row.egress_per_kb = delivered_kb == 0.0 ? 0.0 : static_cast<double>(egress) / delivered_kb;
@@ -91,10 +103,20 @@ int main(int argc, char** argv) {
     std::printf("== Service ablation: the Figure 1/2 cost-vs-QoS spectrum, measured ==\n");
   }
 
-  const Row internet = run_service("internet-only", ServiceType::kNone, 77, quick);
-  const Row coding = run_service("coding (CR-WAN)", ServiceType::kCode, 77, quick);
-  const Row caching = run_service("caching", ServiceType::kCache, 77, quick);
-  const Row forwarding = run_service("forwarding", ServiceType::kForward, 77, quick);
+  // Four independent deterministic sims: one per worker thread.
+  Row rows[4];
+  parallel_for_indexed(4, resolve_sim_threads(0), [&](std::size_t i) {
+    switch (i) {
+      case 0: rows[0] = run_service("internet-only", ServiceType::kNone, 77, quick); break;
+      case 1: rows[1] = run_service("coding (CR-WAN)", ServiceType::kCode, 77, quick); break;
+      case 2: rows[2] = run_service("caching", ServiceType::kCache, 77, quick); break;
+      case 3: rows[3] = run_service("forwarding", ServiceType::kForward, 77, quick); break;
+    }
+  });
+  const Row& internet = rows[0];
+  const Row& coding = rows[1];
+  const Row& caching = rows[2];
+  const Row& forwarding = rows[3];
 
   if (json) {
     const auto emit = [](const char* service, const Row& r) {

@@ -9,8 +9,13 @@ namespace jqos {
 namespace {
 constexpr std::uint8_t kWireVersion = 1;
 // version(1) + type(1) + service(1) + flow(4) + seq(4) + src(4) + dst(4)
-// + final_dst(4) + sent_at(8) + has_meta(1) + payload length prefix(4)
+// + final_dst(4) + sent_at(8) + flags(1) + payload length prefix(4)
 constexpr std::size_t kHeaderBytes = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 1 + 4;
+
+// The flags byte: bit 0 = coded metadata follows, bits 1-2 = ECN codepoint.
+constexpr std::uint8_t kFlagHasMeta = 1 << 0;
+constexpr std::uint8_t kFlagEcnCapable = 1 << 1;
+constexpr std::uint8_t kFlagEcnCe = 1 << 2;
 }  // namespace
 
 const char* to_string(ServiceType s) {
@@ -84,7 +89,9 @@ std::vector<std::uint8_t> Packet::serialize() const {
   w.u32(dst);
   w.u32(final_dst);
   w.i64(sent_at);
-  w.u8(meta ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>((meta ? kFlagHasMeta : 0) |
+                                 (ecn_capable ? kFlagEcnCapable : 0) |
+                                 (ecn_ce ? kFlagEcnCe : 0)));
   if (meta) {
     w.u32(meta->batch_id);
     w.u8(meta->index);
@@ -116,7 +123,10 @@ std::optional<Packet> Packet::parse(std::span<const std::uint8_t> data) {
   p.dst = r.u32();
   p.final_dst = r.u32();
   p.sent_at = r.i64();
-  if (r.u8() != 0) {
+  const std::uint8_t flags = r.u8();
+  p.ecn_capable = (flags & kFlagEcnCapable) != 0;
+  p.ecn_ce = (flags & kFlagEcnCe) != 0;
+  if ((flags & kFlagHasMeta) != 0) {
     CodedMeta m;
     m.batch_id = r.u32();
     m.index = r.u8();

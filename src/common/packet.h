@@ -83,6 +83,12 @@ struct Packet {
   // recovery-latency accounting, mirroring the probe timestamps the paper's
   // deployment logged.
   SimTime sent_at = 0;
+  // ECN codepoints. ecn_capable (ECT) says the sending transport understands
+  // congestion marks; an AQM queue disc may then set ecn_ce (CE) instead of
+  // dropping. Both travel in spare bits of the wire header's flags byte, so
+  // wire_size() — and therefore every bandwidth/egress charge — is unchanged.
+  bool ecn_capable = false;
+  bool ecn_ce = false;
   std::optional<CodedMeta> meta;
   std::vector<std::uint8_t> payload;
 

@@ -44,6 +44,7 @@ SeqNo Sender::transmit(FlowId flow, FlowState& fs, std::vector<std::uint8_t> pay
   base->seq = seq;
   base->src = node_id_;
   base->sent_at = now;
+  base->ecn_capable = fs.policy.ecn_capable;
   base->payload = std::move(payload);
 
   if (fs.policy.send_direct && fs.policy.receiver != kInvalidNode) {
@@ -68,6 +69,11 @@ SeqNo Sender::transmit(FlowId flow, FlowState& fs, std::vector<std::uint8_t> pay
     }
   }
   return seq;
+}
+
+void Sender::set_flow_ecn(FlowId flow, bool on) {
+  auto it = flows_.find(flow);
+  if (it != flows_.end()) it->second.policy.ecn_capable = on;
 }
 
 void Sender::handle_packet(const PacketPtr& pkt) {

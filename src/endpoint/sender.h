@@ -33,6 +33,9 @@ struct SenderPolicy {
   // nullptr duplicates every packet; otherwise only packets approved by the
   // filter get a cloud copy (selective duplication).
   std::function<bool(const Packet&)> duplicate_filter;
+  // Stamp ECT on every packet of the flow: the transport above understands
+  // ECN marks, so AQM queues may CE-mark instead of dropping.
+  bool ecn_capable = false;
 };
 
 struct SenderStats {
@@ -65,6 +68,11 @@ class Sender final : public netsim::Node {
   void set_receive_handler(std::function<void(const PacketPtr&)> handler) {
     on_receive_ = std::move(handler);
   }
+
+  // Flips ECT stamping for an already-registered flow (used by the TCP
+  // model, which registers flows through SessionManager and only then
+  // knows whether its controller negotiated ECN).
+  void set_flow_ecn(FlowId flow, bool on);
 
   const SenderStats& stats() const { return stats_; }
   SeqNo next_seq(FlowId flow) const;

@@ -1,0 +1,83 @@
+// Fan-in / incast scenario: N synchronized burst senders share one
+// finite-bandwidth bottleneck into a single sink — the TCP-incast shape
+// (partition/aggregate workers answering at once) that makes shared switch
+// buffers overflow and is the motivating workload for AQM + ECN.
+//
+//   sender_0 ─┐
+//   sender_1 ─┼─(fast edge links)─→ switch ═(bottleneck + queue disc)═→ sink
+//   ...      ─┘
+//
+// Each epoch every sender emits a back-to-back burst; the per-epoch drain
+// time, the bottleneck's queue/drop/mark counters, and delivery totals are
+// the observables. The scenario is transport-free (raw packet bursts, no
+// TCP) so it isolates exactly the queue-discipline behavior; it is fully
+// deterministic and must fingerprint identically under both event-queue
+// backends (pinned by tests/incast_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netsim/network.h"
+
+namespace jqos::exp {
+
+struct IncastParams {
+  std::size_t senders = 16;
+  std::size_t packets_per_sender = 64;  // Burst length per epoch.
+  std::size_t payload_bytes = 1000;
+  std::size_t epochs = 4;
+  SimDuration epoch_interval = msec(20);
+  // Senders start their bursts `sender_stagger` apart, modelling
+  // near-but-not-perfectly synchronized responses.
+  SimDuration sender_stagger = usec(2);
+  SimDuration edge_latency = usec(50);    // Sender -> switch.
+  SimDuration bottleneck_latency = msec(1);
+  double bottleneck_bps = 100e6;
+  bool ecn = true;                        // Senders stamp ECT.
+  netsim::QdiscConfig qdisc;              // Discipline on the bottleneck.
+  std::uint64_t seed = 1;                 // Feeds RED via the network's qdisc seed.
+};
+
+struct IncastResult {
+  netsim::LinkStats bottleneck;           // The contended switch -> sink link.
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;            // Arrived at the sink.
+  std::uint64_t ce_marked = 0;            // Arrived carrying a CE mark.
+  std::vector<double> epoch_drain_ms;     // Last arrival per epoch, from epoch start.
+  std::uint64_t events_processed = 0;
+  SimTime end_time = 0;
+};
+
+class IncastScenario {
+ public:
+  explicit IncastScenario(const IncastParams& params,
+                          std::optional<netsim::EvqBackend> backend = std::nullopt);
+  ~IncastScenario();
+
+  IncastScenario(const IncastScenario&) = delete;
+  IncastScenario& operator=(const IncastScenario&) = delete;
+
+  // Runs all epochs to quiescence and returns the collected result.
+  IncastResult run();
+
+  netsim::Simulator& sim() { return sim_; }
+
+ private:
+  struct Switch;
+  struct Sink;
+
+  void start_epoch(std::size_t epoch);
+
+  IncastParams params_;
+  netsim::Simulator sim_;
+  netsim::Network net_;
+  std::vector<NodeId> sender_ids_;
+  std::unique_ptr<Switch> switch_;
+  std::unique_ptr<Sink> sink_;
+  IncastResult result_;
+};
+
+}  // namespace jqos::exp

@@ -23,7 +23,7 @@ ScenarioShard::ScenarioShard(std::vector<IndexedPath> paths, const WanScenarioPa
                              netsim::EvqBackend backend)
     : params_(params),
       sim_(backend),
-      net_(sim_),
+      net_(sim_, params.qdisc, Rng::derive(params.seed, "qdisc")),
       rng_(params.seed),
       registry_(std::make_shared<services::FlowRegistry>()),
       sessions_(registry_) {

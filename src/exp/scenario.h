@@ -86,6 +86,10 @@ struct WanScenarioParams {
   double coop_slow_prob = 0.10;
   bool use_markov = true;
   std::uint64_t seed = 1;
+  // Queue-disc configuration handed to the shard's Network; consulted only
+  // by finite-bandwidth links (the default WAN topology is latency-only, so
+  // the default config leaves every trace bit-identical).
+  netsim::QdiscConfig qdisc;
 };
 
 // Everything belonging to one wide-area path in the running scenario.

@@ -6,16 +6,23 @@
 namespace jqos::netsim {
 
 Link::Link(Simulator& sim, NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
-           double bandwidth_bps, bool preserve_order)
+           double bandwidth_bps, bool preserve_order, QueueDiscPtr qdisc)
     : sim_(sim),
       from_(from),
       to_(to),
       latency_(std::move(latency)),
       loss_(std::move(loss)),
       bandwidth_bps_(bandwidth_bps),
-      preserve_order_(preserve_order) {}
+      preserve_order_(preserve_order),
+      qdisc_(std::move(qdisc)) {
+  // Finite bandwidth implies a finite buffer: default to tail-drop if the
+  // caller did not pick a discipline (Network always does).
+  if (bandwidth_bps_ > 0.0 && qdisc_ == nullptr) {
+    qdisc_ = make_queue_disc(QdiscConfig{.kind = QdiscKind::kTailDrop}, Rng(0));
+  }
+}
 
-SimTime Link::admit(const PacketPtr& pkt) {
+SimTime Link::admit(const PacketPtr& pkt, bool& mark) {
   const std::size_t bytes = pkt->wire_size();
   ++stats_.offered_packets;
   stats_.offered_bytes += bytes;
@@ -27,11 +34,41 @@ SimTime Link::admit(const PacketPtr& pkt) {
 
   SimTime depart = sim_.now();
   if (bandwidth_bps_ > 0.0) {
+    // Drain everything the transmitter has finished serializing by now, so
+    // the backlog counters reflect the instantaneous queue.
+    while (!backlog_.empty() && backlog_.front().first <= depart) {
+      backlog_bytes_ -= backlog_.front().second;
+      backlog_.pop_front();
+    }
+
+    QueueSnapshot snap;
+    snap.now = depart;
+    snap.dequeue_at = std::max(depart, tx_free_at_);
+    snap.backlog_bytes = backlog_bytes_;
+    snap.backlog_packets = backlog_.size();
+    snap.packet_bytes = bytes;
+    snap.ecn_capable = pkt->ecn_capable;
+    switch (qdisc_->admit(snap)) {
+      case QdiscVerdict::kDrop:
+        ++stats_.queue_drops;
+        return -1;
+      case QdiscVerdict::kMark:
+        ++stats_.ecn_marked;
+        mark = true;
+        break;
+      case QdiscVerdict::kEnqueue:
+        break;
+    }
+
     const auto tx_time = static_cast<SimDuration>(
         static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * 1e6);
-    const SimTime start = std::max(depart, tx_free_at_);
-    tx_free_at_ = start + tx_time;
+    tx_free_at_ = snap.dequeue_at + tx_time;
     depart = tx_free_at_;
+    backlog_.emplace_back(depart, static_cast<std::uint32_t>(bytes));
+    backlog_bytes_ += bytes;
+    stats_.max_queue_bytes = std::max<std::uint64_t>(stats_.max_queue_bytes, backlog_bytes_);
+    stats_.max_queue_packets =
+        std::max<std::uint64_t>(stats_.max_queue_packets, backlog_.size());
   }
 
   SimTime arrive = depart + latency_->sample(sim_.now());
@@ -44,16 +81,32 @@ SimTime Link::admit(const PacketPtr& pkt) {
   return arrive;
 }
 
+// Copy-on-mark: PacketPtr is shared and const, so a CE mark clones the
+// packet rather than scribbling on the copy other paths may still carry.
+static PacketPtr with_ce_mark(const PacketPtr& pkt) {
+  auto marked = std::make_shared<Packet>(*pkt);
+  marked->ecn_ce = true;
+  return marked;
+}
+
 void Link::send(const PacketPtr& pkt, DeliverFn deliver) {
-  const SimTime arrive = admit(pkt);
+  bool mark = false;
+  const SimTime arrive = admit(pkt, mark);
   if (arrive < 0) return;
-  sim_.at(arrive, [pkt, deliver = std::move(deliver)] { deliver(pkt); });
+  const PacketPtr out = mark ? with_ce_mark(pkt) : pkt;
+  sim_.at(arrive, [out, deliver = std::move(deliver)] { deliver(out); });
 }
 
 void Link::send(const PacketPtr& pkt) {
   assert(deliver_ && "Link::send(pkt) requires set_deliver()");
-  const SimTime arrive = admit(pkt);
+  bool mark = false;
+  const SimTime arrive = admit(pkt, mark);
   if (arrive < 0) return;
+  if (mark) {
+    const PacketPtr out = with_ce_mark(pkt);
+    sim_.at(arrive, [this, out] { deliver_(out); });
+    return;
+  }
   // (this, pkt) is 24 bytes: well inside EventFn's inline buffer, and no
   // std::function is copied on the per-packet path.
   sim_.at(arrive, [this, pkt] { deliver_(pkt); });

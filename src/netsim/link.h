@@ -1,14 +1,24 @@
 // A unidirectional link: loss process + delay process + optional bandwidth
 // with FIFO serialization, plus per-link counters the experiment harness
 // reads (offered/dropped/delivered packets and bytes).
+//
+// Finite-bandwidth links delegate the enqueue/mark/drop decision to a
+// QueueDisc policy object (tail-drop by default, RED or CoDel for AQM).
+// The transmitter itself stays analytic — tx_free_at_ plus a deque of
+// pending departure times — so queueing costs no extra simulator events.
+// Zero-bandwidth links never consult the discipline (there is no queue),
+// which keeps every latency-only scenario bit-identical to the
+// pre-queue-disc code.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 
 #include "common/packet.h"
 #include "netsim/latency_model.h"
 #include "netsim/loss_model.h"
+#include "netsim/queue_disc.h"
 #include "netsim/simulator.h"
 
 namespace jqos::netsim {
@@ -18,33 +28,48 @@ using DeliverFn = std::function<void(const PacketPtr&)>;
 
 struct LinkStats {
   std::uint64_t offered_packets = 0;
-  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_packets = 0;    // Loss-model drops (the "wire").
+  std::uint64_t queue_drops = 0;        // Queue-disc drops (buffer full / AQM early).
+  std::uint64_t ecn_marked = 0;         // Delivered with a fresh CE mark.
   std::uint64_t delivered_packets = 0;
   std::uint64_t offered_bytes = 0;
   std::uint64_t delivered_bytes = 0;
+  std::uint64_t max_queue_bytes = 0;    // High-water transmitter backlog.
+  std::uint64_t max_queue_packets = 0;
 
+  // Loss-model rate only, matching the pre-queue-disc meaning (congestion
+  // drops are a separate signal; use drop_rate() for the combined figure).
   double loss_rate() const {
     return offered_packets == 0
                ? 0.0
                : static_cast<double>(dropped_packets) / static_cast<double>(offered_packets);
   }
+
+  double drop_rate() const {
+    return offered_packets == 0
+               ? 0.0
+               : static_cast<double>(dropped_packets + queue_drops) /
+                     static_cast<double>(offered_packets);
+  }
 };
 
 class Link {
  public:
-  // bandwidth_bps == 0 means unlimited (no serialization delay / queueing).
-  // When preserve_order is set (the default), arrivals are clamped to be
-  // non-decreasing, modelling a single-path route that may jitter but does
-  // not reorder -- which is what the receiver's gap-based loss detection
-  // assumes of Internet paths.
+  // bandwidth_bps == 0 means unlimited (no serialization delay / queueing;
+  // `qdisc` is then never consulted and may be null). When preserve_order
+  // is set (the default), arrivals are clamped to be non-decreasing,
+  // modelling a single-path route that may jitter but does not reorder --
+  // which is what the receiver's gap-based loss detection assumes of
+  // Internet paths.
   Link(Simulator& sim, NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
-       double bandwidth_bps = 0.0, bool preserve_order = true);
+       double bandwidth_bps = 0.0, bool preserve_order = true, QueueDiscPtr qdisc = nullptr);
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  // Offers a packet to the link; if it survives the loss process it is
-  // delivered to `deliver` after serialization + queueing + propagation.
+  // Offers a packet to the link; if it survives the loss process and the
+  // queue discipline it is delivered to `deliver` after serialization +
+  // queueing + propagation.
   void send(const PacketPtr& pkt, DeliverFn deliver);
 
   // Hot-path variant: delivers to the sink registered with set_deliver().
@@ -58,6 +83,7 @@ class Link {
   NodeId to() const { return to_; }
   const LinkStats& stats() const { return stats_; }
   SimDuration base_latency() const { return latency_->base(); }
+  const QueueDisc* qdisc() const { return qdisc_.get(); }
 
  private:
   Simulator& sim_;
@@ -67,18 +93,25 @@ class Link {
   LossModelPtr loss_;
   double bandwidth_bps_;
   bool preserve_order_;
+  QueueDiscPtr qdisc_;
   // Time at which the transmitter finishes serializing the last queued
   // packet; models FIFO queueing under finite bandwidth.
   SimTime tx_free_at_ = 0;
   // Latest arrival scheduled so far; used to prevent reordering.
   SimTime last_arrival_ = 0;
+  // Departure time + size of every packet still in the transmitter, oldest
+  // first; drained lazily on each send to maintain the backlog counters the
+  // queue discipline and the depth stats read.
+  std::deque<std::pair<SimTime, std::uint32_t>> backlog_;
+  std::size_t backlog_bytes_ = 0;
   // Registered delivery sink for the zero-argument send().
   DeliverFn deliver_;
   LinkStats stats_;
 
   // Computes the arrival time for a packet offered now, or -1 if the loss
-  // process drops it; updates queueing/ordering state and stats.
-  SimTime admit(const PacketPtr& pkt);
+  // process or the queue discipline drops it; sets `mark` when the
+  // discipline CE-marked instead; updates queueing/ordering state and stats.
+  SimTime admit(const PacketPtr& pkt, bool& mark);
 };
 
 }  // namespace jqos::netsim

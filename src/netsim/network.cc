@@ -1,6 +1,7 @@
 #include "netsim/network.h"
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace jqos::netsim {
 
@@ -8,8 +9,20 @@ void Network::attach(Node& node) { nodes_[node.id()] = &node; }
 
 Link& Network::add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
                         double bandwidth_bps, bool preserve_order) {
+  return add_link(from, to, std::move(latency), std::move(loss), bandwidth_bps,
+                  preserve_order, qdisc_);
+}
+
+Link& Network::add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
+                        double bandwidth_bps, bool preserve_order, const QdiscConfig& qdisc) {
+  QueueDiscPtr disc;
+  if (bandwidth_bps > 0.0) {
+    const std::uint64_t link_id =
+        (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+    disc = make_queue_disc(qdisc, Rng::derived(qdisc_seed_, link_id));
+  }
   auto link = std::make_unique<Link>(sim_, from, to, std::move(latency), std::move(loss),
-                                     bandwidth_bps, preserve_order);
+                                     bandwidth_bps, preserve_order, std::move(disc));
   Link& ref = *link;
   // One dispatch closure per link, registered up front: the per-packet send
   // below then schedules a small inline event instead of rebuilding (and

@@ -10,6 +10,7 @@
 
 #include "common/packet.h"
 #include "netsim/link.h"
+#include "netsim/queue_disc.h"
 #include "netsim/simulator.h"
 
 namespace jqos::netsim {
@@ -26,7 +27,13 @@ class Node {
 
 class Network {
  public:
-  explicit Network(Simulator& sim) : sim_(sim) {}
+  // `qdisc` is the default queue-disc configuration applied to every
+  // finite-bandwidth link (zero-bandwidth links have no queue and never get
+  // a discipline). RED's probabilistic drops draw from an Rng derived from
+  // `qdisc_seed` and the (from, to) pair — a stable identity, so traces are
+  // independent of link-creation order.
+  explicit Network(Simulator& sim, QdiscConfig qdisc = {}, std::uint64_t qdisc_seed = 0)
+      : sim_(sim), qdisc_(std::move(qdisc)), qdisc_seed_(qdisc_seed) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -41,8 +48,14 @@ class Network {
   void attach(Node& node);
 
   // Installs a directed link. Replaces any existing from->to link.
+  // Finite-bandwidth links get a queue disc built from the network-wide
+  // config (or the per-link override of the second form).
   Link& add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
                  double bandwidth_bps = 0.0, bool preserve_order = true);
+  Link& add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
+                 double bandwidth_bps, bool preserve_order, const QdiscConfig& qdisc);
+
+  const QdiscConfig& qdisc_config() const { return qdisc_; }
 
   // Sends pkt->dst via the from->dst link. Requires the link to exist;
   // packets to unattached or unreachable nodes are counted and dropped.
@@ -55,6 +68,8 @@ class Network {
 
  private:
   Simulator& sim_;
+  QdiscConfig qdisc_;
+  std::uint64_t qdisc_seed_ = 0;
   NodeId next_id_ = 1;
   std::map<NodeId, Node*> nodes_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;

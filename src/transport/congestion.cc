@@ -1,0 +1,88 @@
+#include "transport/congestion.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jqos::transport {
+
+const char* cc_kind_name(CcKind k) {
+  switch (k) {
+    case CcKind::kReno: return "reno";
+    case CcKind::kRack: return "rack";
+    case CcKind::kBbrLite: return "bbr";
+  }
+  return "?";
+}
+
+std::optional<CcKind> parse_cc_kind(std::string_view name) {
+  if (name == "reno") return CcKind::kReno;
+  if (name == "rack") return CcKind::kRack;
+  if (name == "bbr" || name == "bbrlite" || name == "bbr-lite") return CcKind::kBbrLite;
+  return std::nullopt;
+}
+
+CcKind cc_kind_from_env(CcKind fallback) {
+  // Parsed exactly once, like JQOS_GF_BACKEND: later setenv calls have no
+  // effect and cannot race the getenv.
+  static const std::optional<CcKind> from_env = []() -> std::optional<CcKind> {
+    const char* v = std::getenv("JQOS_TCP_CC");
+    if (v == nullptr || *v == '\0') return std::nullopt;
+    auto parsed = parse_cc_kind(v);
+    if (!parsed) {
+      std::fprintf(stderr, "[WARN] JQOS_TCP_CC=%s not recognized (reno|rack|bbr); ignoring\n",
+                   v);
+    }
+    return parsed;
+  }();
+  return from_env.value_or(fallback);
+}
+
+std::size_t CcScoreboard::inflight() const {
+  std::size_t n = 0;
+  for (std::uint32_t s = highest_acked; s < next_to_send; ++s) {
+    if (sacked->count(s) == 0) ++n;
+  }
+  return n;
+}
+
+std::uint32_t CcScoreboard::above_highest_sacked() const {
+  return sacked->empty() ? highest_acked + 1 : *sacked->rbegin() + 1;
+}
+
+SimTime CcScoreboard::effective_xmit_time(std::uint32_t seq) const {
+  auto rt = retransmitted->find(seq);
+  if (rt != retransmitted->end()) return rt->second;
+  auto st = send_times->find(seq);
+  return st == send_times->end() ? -1 : st->second;
+}
+
+namespace detail {
+
+void collect_sack_holes(const CcScoreboard& sb, SimTime now, SimDuration rto,
+                        std::vector<std::uint32_t>& out) {
+  const std::uint32_t high = sb.above_highest_sacked();
+  for (std::uint32_t s = sb.highest_acked; s < high && s < sb.total_segments; ++s) {
+    if (sb.sacked->count(s) != 0) continue;
+    auto rt = sb.retransmitted->find(s);
+    if (rt != sb.retransmitted->end() && now - rt->second < rto) continue;
+    out.push_back(s);
+  }
+}
+
+}  // namespace detail
+
+CcPtr make_congestion_controller(CcKind kind) {
+  switch (kind) {
+    case CcKind::kReno: return make_reno_cc();
+    case CcKind::kRack: return make_rack_cc();
+    case CcKind::kBbrLite: return make_bbr_lite_cc();
+  }
+  return make_reno_cc();
+}
+
+CcPtr make_congestion_controller(const TcpParams& params) {
+  if (params.cc_factory) return params.cc_factory();
+  return make_congestion_controller(params.resolved_cc());
+}
+
+}  // namespace jqos::transport

@@ -1,0 +1,110 @@
+// RACK-style loss detection (after FreeBSD's tcp_stacks/rack.c and RFC
+// 8985, heavily simplified for the segment-granularity model): a segment is
+// declared lost when some segment sent *after* it has already been
+// delivered and a reorder window (srtt/4) has passed — no dup-ack counting.
+// Window growth stays Reno-shaped (slow start / congestion avoidance with
+// one multiplicative cut per recovery episode), so the difference under
+// test is purely the loss-detection clock.
+#include <algorithm>
+
+#include "transport/congestion.h"
+
+namespace jqos::transport {
+namespace {
+
+class RackCc final : public CongestionController {
+ public:
+  const char* name() const override { return "rack"; }
+
+  void on_transfer_start(const TcpParams& params, std::uint32_t total_segments,
+                         SimTime now) override {
+    (void)total_segments, (void)now;
+    params_ = params;
+    cwnd_ = static_cast<double>(params.init_cwnd);
+    ssthresh_ = static_cast<double>(params.init_ssthresh);
+    rack_xmit_time_ = -1;
+    recovery_until_ = 0;
+    cwr_until_ = 0;
+  }
+
+  void on_ack(const CcEvent& ev, const CcScoreboard& sb, CcActions& out) override {
+    advance_rack_clock(ev);
+    const bool ecn_cut = ev.ecn_echo && maybe_backoff(sb, &cwr_until_);
+    if (!ecn_cut) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += ev.newly_acked;
+      } else {
+        cwnd_ += static_cast<double>(ev.newly_acked) / cwnd_;
+      }
+    }
+    detect_losses(ev, sb, out);
+  }
+
+  void on_sack(const CcEvent& ev, const CcScoreboard& sb, CcActions& out) override {
+    advance_rack_clock(ev);
+    if (ev.ecn_echo) maybe_backoff(sb, &cwr_until_);
+    detect_losses(ev, sb, out);
+  }
+
+  void on_rto(SimTime now) override {
+    (void)now;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = 1.0;
+    rack_xmit_time_ = -1;  // Stale after the backoff; rebuild from fresh acks.
+  }
+
+  bool can_send(std::size_t inflight) const override {
+    return inflight < static_cast<std::size_t>(cwnd_);
+  }
+
+  double cwnd_segments() const override { return cwnd_; }
+
+ private:
+  void advance_rack_clock(const CcEvent& ev) {
+    // The most recent transmission time among delivered segments: anything
+    // sent a reorder-window before it and still missing is lost.
+    rack_xmit_time_ = std::max(rack_xmit_time_, ev.delivered_xmit_time);
+  }
+
+  SimDuration reorder_window(const CcEvent& ev) const {
+    return std::max<SimDuration>(ev.srtt / 4, msec(1));
+  }
+
+  void detect_losses(const CcEvent& ev, const CcScoreboard& sb, CcActions& out) {
+    if (rack_xmit_time_ < 0) return;
+    const SimDuration window = reorder_window(ev);
+    const std::uint32_t high = sb.above_highest_sacked();
+    for (std::uint32_t s = sb.highest_acked; s < high && s < sb.total_segments; ++s) {
+      if (sb.sacked->count(s) != 0) continue;
+      const SimTime sent = sb.effective_xmit_time(s);
+      if (sent < 0) continue;
+      if (sent + window <= rack_xmit_time_) out.retransmit.push_back(s);
+    }
+    if (out.retransmit.empty()) return;
+    if (maybe_backoff(sb, &recovery_until_)) out.entered_recovery = true;
+    out.rearm_rto = true;
+  }
+
+  // One multiplicative cut per window of data, shared by loss recovery and
+  // the ECN response; `*until` marks the episode boundary.
+  bool maybe_backoff(const CcScoreboard& sb, std::uint32_t* until) {
+    if (sb.highest_acked < *until) return false;
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = ssthresh_;
+    *until = sb.next_to_send;
+    return true;
+  }
+
+  TcpParams params_;
+  double cwnd_ = 10.0;
+  double ssthresh_ = 64.0;
+  SimTime rack_xmit_time_ = -1;     // Latest delivered segment's xmit time.
+  std::uint32_t recovery_until_ = 0;
+  std::uint32_t cwr_until_ = 0;
+};
+
+}  // namespace
+
+CcPtr make_rack_cc() { return std::make_unique<RackCc>(); }
+
+}  // namespace jqos::transport

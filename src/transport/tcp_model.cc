@@ -49,13 +49,16 @@ TcpWorkload::TcpWorkload(netsim::Network& net, endpoint::Sender& server,
       client_(client),
       sessions_(sessions),
       session_template_(std::move(session_template)),
-      params_(params) {
+      params_(params),
+      cc_(make_congestion_controller(params_)) {
   server_.set_receive_handler([this](const PacketPtr& pkt) { server_on_packet(pkt); });
   client_.set_delivery_handler(
       [this](const endpoint::DeliveryRecord& rec, const PacketPtr& pkt) {
         if (rec.lost || pkt == nullptr || rec.flow != flow_) return;
         auto seg = TcpSegment::parse(pkt->payload);
-        if (seg && seg->conn_id == conn_id_) client_on_segment(*seg, rec.recovered);
+        if (seg && seg->conn_id == conn_id_) {
+          client_on_segment(*seg, rec.recovered, pkt->ecn_ce);
+        }
       });
 }
 
@@ -80,6 +83,7 @@ void TcpWorkload::start_next_transfer() {
   // Fresh J-QoS flow per connection: clean sequence space end to end.
   endpoint::Session session = sessions_.register_flow(server_, client_, session_template_);
   flow_ = session.flow;
+  server_.set_flow_ecn(flow_, params_.ecn);
 
   // Reset endpoint state.
   syn_acked_ = false;
@@ -87,6 +91,7 @@ void TcpWorkload::start_next_transfer() {
   client_total_segments_ = 0;
   client_cumulative_ = 0;
   client_received_.clear();
+  client_ece_pending_ = false;
   server_conn_open_ = false;
   server_sending_ = false;
   total_segments_ =
@@ -94,9 +99,6 @@ void TcpWorkload::start_next_transfer() {
   next_to_send_ = 0;
   highest_acked_ = 0;
   sacked_.clear();
-  cwnd_ = static_cast<double>(params_.init_cwnd);
-  ssthresh_ = static_cast<double>(params_.init_ssthresh);
-  dup_acks_ = 0;
   rto_ = params_.initial_rto;
   rtt_measured_ = false;
   srtt_ = 0.0;
@@ -104,6 +106,8 @@ void TcpWorkload::start_next_transfer() {
   synack_retries_ = 0;
   send_times_.clear();
   retransmitted_.clear();
+  pacing_release_ = 0;
+  cc_->on_transfer_start(params_, total_segments_, net_.sim().now());
 
   transfer_started_ = net_.sim().now();
   client_send_syn();
@@ -111,18 +115,22 @@ void TcpWorkload::start_next_transfer() {
 
 // --------------------------- client side ----------------------------
 
-void TcpWorkload::client_send_syn() {
-  TcpSegment syn;
-  syn.conn_id = conn_id_;
-  syn.flags = TcpSegment::kSyn;
+void TcpWorkload::client_stamp_and_send(std::vector<std::uint8_t> payload) {
   auto pkt = std::make_shared<Packet>();
   pkt->type = PacketType::kData;
   pkt->flow = flow_;
   pkt->src = client_.id();
   pkt->dst = server_.id();
   pkt->sent_at = net_.sim().now();
-  pkt->payload = syn.serialize(40);
+  pkt->payload = std::move(payload);
   net_.send(client_.id(), pkt);
+}
+
+void TcpWorkload::client_send_syn() {
+  TcpSegment syn;
+  syn.conn_id = conn_id_;
+  syn.flags = TcpSegment::kSyn;
+  client_stamp_and_send(syn.serialize(40));
 
   const std::uint64_t gen = ++client_timer_gen_;
   const SimDuration backoff = params_.initial_rto << std::min(client_retries_, 6);
@@ -144,20 +152,16 @@ void TcpWorkload::client_send_request() {
   TcpSegment req;
   req.conn_id = conn_id_;
   req.flags = TcpSegment::kReq | TcpSegment::kAck;
-  auto pkt = std::make_shared<Packet>();
-  pkt->type = PacketType::kData;
-  pkt->flow = flow_;
-  pkt->src = client_.id();
-  pkt->dst = server_.id();
-  pkt->sent_at = net_.sim().now();
-  pkt->payload = req.serialize(request_bytes_);
-  net_.send(client_.id(), pkt);
+  client_stamp_and_send(req.serialize(request_bytes_));
 }
 
 void TcpWorkload::client_send_ack() {
   TcpSegment ack;
   ack.conn_id = conn_id_;
   ack.flags = TcpSegment::kAck;
+  // DCTCP-style per-ack echo: ECE reflects the CE mark of the segment that
+  // triggered this ack.
+  if (params_.ecn && client_ece_pending_) ack.flags |= TcpSegment::kEce;
   ack.ack = client_cumulative_;
   // SACK ranges: contiguous runs from the out-of-order set, at most 4.
   std::uint32_t prev = 0;
@@ -177,18 +181,12 @@ void TcpWorkload::client_send_ack() {
   }
   if (open && ack.sacks.size() < 4) ack.sacks.emplace_back(lo, prev + 1);
 
-  auto pkt = std::make_shared<Packet>();
-  pkt->type = PacketType::kData;
-  pkt->flow = flow_;
-  pkt->src = client_.id();
-  pkt->dst = server_.id();
-  pkt->sent_at = net_.sim().now();
-  pkt->payload = ack.serialize(40);
   ++acks_sent_;
-  net_.send(client_.id(), pkt);
+  client_stamp_and_send(ack.serialize(40));
 }
 
-void TcpWorkload::client_on_segment(const TcpSegment& seg, bool via_recovery) {
+void TcpWorkload::client_on_segment(const TcpSegment& seg, bool via_recovery,
+                                    bool ce_marked) {
   (void)via_recovery;  // Recovered segments are ACKed exactly like direct ones.
   if (transfer_done_) return;
   if (seg.flags & TcpSegment::kSyn) {
@@ -204,6 +202,7 @@ void TcpWorkload::client_on_segment(const TcpSegment& seg, bool via_recovery) {
   if ((seg.flags & TcpSegment::kData) == 0) return;
   client_total_segments_ = seg.total_segments;
   client_received_.insert(seg.seq);
+  client_ece_pending_ = ce_marked;
   while (client_received_.count(client_cumulative_) != 0) {
     client_received_.erase(client_cumulative_);
     ++client_cumulative_;
@@ -261,17 +260,70 @@ void TcpWorkload::server_begin_response() {
   server_arm_rto();
 }
 
+CcScoreboard TcpWorkload::scoreboard() const {
+  CcScoreboard sb;
+  sb.total_segments = total_segments_;
+  sb.highest_acked = highest_acked_;
+  sb.next_to_send = next_to_send_;
+  sb.sacked = &sacked_;
+  sb.send_times = &send_times_;
+  sb.retransmitted = &retransmitted_;
+  return sb;
+}
+
 void TcpWorkload::server_send_window() {
+  const double pace = cc_->pacing_rate_bps();
+  // Queued paced retransmissions leave first: they fill the oldest holes.
+  while (pace > 0.0 && !paced_retx_.empty()) {
+    const std::uint32_t s = paced_retx_.front();
+    if (s < highest_acked_ || s >= total_segments_ || sacked_.count(s) != 0) {
+      paced_retx_.pop_front();  // Repaired by other means while queued.
+      continue;
+    }
+    const SimTime now = net_.sim().now();
+    if (now < pacing_release_) {
+      server_arm_pacing_timer();
+      return;
+    }
+    const std::size_t body =
+        std::min(params_.mss, response_bytes_ - static_cast<std::size_t>(s) * params_.mss);
+    const std::size_t wire = std::max<std::size_t>(body, 18);
+    pacing_release_ = std::max(pacing_release_, now) +
+                      static_cast<SimDuration>(static_cast<double>(wire) * 8.0 / pace * 1e6);
+    paced_retx_.pop_front();
+    server_send_segment(s, /*retransmit=*/true);
+  }
   // Inflight: first-hole-based estimate (unacked, unsacked, already sent).
   while (next_to_send_ < total_segments_) {
-    std::size_t inflight = 0;
-    for (std::uint32_t s = highest_acked_; s < next_to_send_; ++s) {
-      if (sacked_.count(s) == 0) ++inflight;
+    if (!cc_->can_send(scoreboard().inflight())) break;
+    if (pace > 0.0) {
+      // Paced send: respect the release time computed from the previous
+      // segment; if it is in the future, come back on a sim timer.
+      const SimTime now = net_.sim().now();
+      if (now < pacing_release_) {
+        server_arm_pacing_timer();
+        break;
+      }
+      const std::size_t body = std::min(
+          params_.mss, response_bytes_ - static_cast<std::size_t>(next_to_send_) * params_.mss);
+      const std::size_t wire = std::max<std::size_t>(body, 18);
+      pacing_release_ = std::max(pacing_release_, now) +
+                        static_cast<SimDuration>(static_cast<double>(wire) * 8.0 / pace * 1e6);
     }
-    if (inflight >= static_cast<std::size_t>(cwnd_)) break;
     server_send_segment(next_to_send_, /*retransmit=*/false);
     ++next_to_send_;
   }
+}
+
+void TcpWorkload::server_arm_pacing_timer() {
+  if (pacing_timer_armed_) return;
+  pacing_timer_armed_ = true;
+  const std::uint32_t conn = conn_id_;
+  net_.sim().at(std::max(pacing_release_, net_.sim().now()), [this, conn] {
+    pacing_timer_armed_ = false;
+    if (conn != conn_id_ || transfer_done_ || !server_sending_) return;
+    server_send_window();
+  });
 }
 
 void TcpWorkload::server_send_segment(std::uint32_t seq, bool retransmit) {
@@ -286,10 +338,13 @@ void TcpWorkload::server_send_segment(std::uint32_t seq, bool retransmit) {
   if (retransmit) {
     ++server_stats_.retransmits;
     retransmitted_[seq] = net_.sim().now();
+    cc_->on_loss(seq, net_.sim().now());
   } else {
     send_times_[seq] = net_.sim().now();
   }
-  server_.send_payload(flow_, seg.serialize(std::max<std::size_t>(body, 18)));
+  const std::size_t wire = std::max<std::size_t>(body, 18);
+  cc_->on_segment_sent(seq, wire, retransmit, net_.sim().now());
+  server_.send_payload(flow_, seg.serialize(wire));
 }
 
 void TcpWorkload::server_update_rtt(SimDuration sample) {
@@ -306,56 +361,89 @@ void TcpWorkload::server_update_rtt(SimDuration sample) {
   rto_ = std::clamp(rto, params_.min_rto, params_.max_rto);
 }
 
+void TcpWorkload::apply_cc_actions(const CcActions& actions) {
+  if (cc_->pacing_rate_bps() > 0.0) {
+    // Don't burst the repairs: a pacing controller's whole point is never
+    // handing the bottleneck more than it drains, and a window's worth of
+    // back-to-back retransmissions would just re-overflow the queue that
+    // dropped them. Queue the holes and let server_send_window() release
+    // them at the paced rate.
+    for (std::uint32_t s : actions.retransmit) {
+      if (s >= total_segments_ || sacked_.count(s) != 0) continue;
+      if (std::find(paced_retx_.begin(), paced_retx_.end(), s) != paced_retx_.end()) {
+        continue;
+      }
+      paced_retx_.push_back(s);
+    }
+    if (!paced_retx_.empty()) server_send_window();
+    return;
+  }
+  for (std::uint32_t s : actions.retransmit) {
+    if (s >= total_segments_ || sacked_.count(s) != 0) continue;
+    server_send_segment(s, /*retransmit=*/true);
+  }
+}
+
 void TcpWorkload::server_on_ack(const TcpSegment& seg) {
   if (!server_sending_) return;
+  CcEvent ev;
+  ev.now = net_.sim().now();
+  ev.ecn_echo = (seg.flags & TcpSegment::kEce) != 0;
+  if (ev.ecn_echo) ++server_stats_.ecn_echoes;
+  const auto effective_xmit = [this](std::uint32_t s) -> SimTime {
+    auto rt = retransmitted_.find(s);
+    if (rt != retransmitted_.end()) return rt->second;
+    auto st = send_times_.find(s);
+    return st == send_times_.end() ? -1 : st->second;
+  };
   for (const auto& [lo, hi] : seg.sacks) {
-    for (std::uint32_t s = lo; s < hi && s < total_segments_; ++s) sacked_.insert(s);
+    for (std::uint32_t s = lo; s < hi && s < total_segments_; ++s) {
+      if (sacked_.insert(s).second) {
+        ++ev.newly_sacked;
+        ev.delivered_xmit_time = std::max(ev.delivered_xmit_time, effective_xmit(s));
+      }
+    }
   }
   if (seg.ack > highest_acked_) {
-    const std::uint32_t newly = seg.ack - highest_acked_;
+    ev.newly_acked = seg.ack - highest_acked_;
     // RTT sample from the highest newly-acked first-transmission segment.
     auto ts = send_times_.find(seg.ack - 1);
     if (ts != send_times_.end() && retransmitted_.count(seg.ack - 1) == 0) {
-      server_update_rtt(net_.sim().now() - ts->second);
+      const SimDuration sample = net_.sim().now() - ts->second;
+      server_update_rtt(sample);
+      ev.rtt_sample = sample;
     }
     for (std::uint32_t s = highest_acked_; s < seg.ack; ++s) {
+      ev.delivered_xmit_time = std::max(ev.delivered_xmit_time, effective_xmit(s));
       send_times_.erase(s);
       retransmitted_.erase(s);
       sacked_.erase(s);
     }
     highest_acked_ = seg.ack;
-    dup_acks_ = 0;
-    if (cwnd_ < ssthresh_) {
-      cwnd_ += newly;  // Slow start.
-    } else {
-      cwnd_ += static_cast<double>(newly) / cwnd_;  // Congestion avoidance.
-    }
+    ev.srtt = static_cast<SimDuration>(srtt_);
+    ev.rto = rto_;
+    CcActions actions;
+    cc_->on_ack(ev, scoreboard(), actions);
     if (highest_acked_ >= total_segments_) {
       ++server_timer_gen_;  // All data acked; stop the RTO timer.
       return;
     }
+    if (actions.entered_recovery) ++server_stats_.fast_retransmits;
+    apply_cc_actions(actions);
     server_arm_rto();
     server_send_window();
     return;
   }
-  // Duplicate cumulative ACK.
-  ++dup_acks_;
-  if (dup_acks_ >= params_.dupack_threshold) {
-    dup_acks_ = 0;
-    ++server_stats_.fast_retransmits;
-    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-    cwnd_ = ssthresh_;
-    // SACK-style: retransmit every hole below the highest SACKed segment,
-    // unless it was retransmitted within the last RTO.
-    const std::uint32_t high = sacked_.empty() ? highest_acked_ + 1 : *sacked_.rbegin() + 1;
-    for (std::uint32_t s = highest_acked_; s < high && s < total_segments_; ++s) {
-      if (sacked_.count(s) != 0) continue;
-      auto rt = retransmitted_.find(s);
-      if (rt != retransmitted_.end() && net_.sim().now() - rt->second < rto_) continue;
-      server_send_segment(s, /*retransmit=*/true);
-    }
-    server_arm_rto();
-  }
+  // Duplicate cumulative ACK: hand the controller the (possibly new) SACK
+  // evidence and do what it says.
+  ev.srtt = static_cast<SimDuration>(srtt_);
+  ev.rto = rto_;
+  CcActions actions;
+  cc_->on_sack(ev, scoreboard(), actions);
+  if (actions.entered_recovery) ++server_stats_.fast_retransmits;
+  apply_cc_actions(actions);
+  if (actions.rearm_rto) server_arm_rto();
+  if (actions.open_window) server_send_window();
 }
 
 void TcpWorkload::server_arm_rto() {
@@ -367,9 +455,7 @@ void TcpWorkload::server_rto_fired(std::uint64_t gen) {
   if (gen != server_timer_gen_ || transfer_done_ || !server_sending_) return;
   if (highest_acked_ >= total_segments_) return;
   ++server_stats_.timeouts;
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  cwnd_ = 1.0;
-  dup_acks_ = 0;
+  cc_->on_rto(net_.sim().now());
   rto_ = std::min<SimDuration>(rto_ * 2, params_.max_rto);
   server_send_segment(highest_acked_, /*retransmit=*/true);
   server_arm_rto();

@@ -4,12 +4,21 @@
 // The model captures exactly the mechanisms that experiment is about:
 //  * three-way-handshake losses (SYN / SYN-ACK retransmission with 1 s
 //    initial RTO and exponential backoff -- the dominant tail contributor);
-//  * slow start / congestion avoidance, SACK-based fast retransmit, and
-//    RTO with exponential backoff for tail losses;
+//  * sender-side congestion control and loss recovery, delegated to a
+//    pluggable CongestionController (Reno / RACK / BBR-lite; see
+//    transport/congestion.h), plus RTO with exponential backoff;
+//  * ECN: data segments carry ECT, AQM queue discs may CE-mark them, the
+//    client echoes marks back as ECE acks, and ECN-aware controllers back
+//    off without a loss;
 //  * the J-QoS interception trick: data segments travel through the J-QoS
 //    reliability layer, so a packet recovered by J-QoS reaches the client's
 //    TCP which ACKs it immediately, hiding the loss from the server and
 //    avoiding the timeout.
+//
+// TcpWorkload is the mechanism shell: handshake, scoreboard bookkeeping,
+// RFC 6298 RTT estimation, timer plumbing (RTO + pacing release), and the
+// actual segment transmission. All policy -- window growth, when a segment
+// is lost, what to retransmit, how fast to pace -- lives in the controller.
 //
 // One TcpWorkload object drives N sequential request/response transfers
 // between a client host (a jqos::endpoint::Receiver) and a server host (a
@@ -17,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -26,19 +36,9 @@
 #include "endpoint/receiver.h"
 #include "endpoint/sender.h"
 #include "endpoint/session.h"
+#include "transport/congestion.h"
 
 namespace jqos::transport {
-
-struct TcpParams {
-  std::size_t mss = 1400;
-  std::size_t init_cwnd = 10;        // Segments.
-  std::size_t init_ssthresh = 64;    // Segments.
-  SimDuration initial_rto = sec(1);  // RFC 6298 pre-measurement RTO.
-  SimDuration min_rto = msec(200);
-  SimDuration max_rto = sec(16);
-  int dupack_threshold = 3;
-  int max_handshake_retries = 7;
-};
 
 // TCP segment header carried inside the J-QoS packet payload.
 struct TcpSegment {
@@ -49,6 +49,7 @@ struct TcpSegment {
     kReq = 1 << 2,   // The client's application request.
     kData = 1 << 3,
     kFin = 1 << 4,
+    kEce = 1 << 5,   // ECN echo: the segment this acks arrived CE-marked.
   };
   std::uint8_t flags = 0;
   std::uint32_t seq = 0;            // Segment index within the response.
@@ -67,6 +68,7 @@ struct TcpServerStats {
   std::uint64_t fast_retransmits = 0;
   std::uint64_t synack_sent = 0;
   std::uint64_t synack_retransmits = 0;
+  std::uint64_t ecn_echoes = 0;  // Acks received carrying ECE.
 };
 
 class TcpWorkload {
@@ -87,6 +89,7 @@ class TcpWorkload {
   const TcpServerStats& server_stats() const { return server_stats_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::size_t completed() const { return completed_; }
+  const CongestionController& cc() const { return *cc_; }
 
  private:
   // ---- client side ----
@@ -94,8 +97,9 @@ class TcpWorkload {
   void client_send_syn();
   void client_send_request();
   void client_send_ack();
-  void client_on_segment(const TcpSegment& seg, bool via_recovery);
+  void client_on_segment(const TcpSegment& seg, bool via_recovery, bool ce_marked);
   void client_handshake_timer_fired(std::uint64_t gen);
+  void client_stamp_and_send(std::vector<std::uint8_t> payload);
 
   // ---- server side ----
   void server_on_packet(const PacketPtr& pkt);
@@ -107,6 +111,9 @@ class TcpWorkload {
   void server_arm_rto();
   void server_rto_fired(std::uint64_t gen);
   void server_update_rtt(SimDuration sample);
+  void server_arm_pacing_timer();
+  CcScoreboard scoreboard() const;
+  void apply_cc_actions(const CcActions& actions);
 
   void transfer_complete();
 
@@ -116,6 +123,7 @@ class TcpWorkload {
   endpoint::SessionManager& sessions_;
   endpoint::RegisterRequest session_template_;
   TcpParams params_;
+  CcPtr cc_;
 
   // Workload progress.
   std::size_t remaining_ = 0;
@@ -138,18 +146,16 @@ class TcpWorkload {
   std::uint32_t client_total_segments_ = 0;
   std::uint32_t client_cumulative_ = 0;  // Next segment needed.
   std::set<std::uint32_t> client_received_;
+  bool client_ece_pending_ = false;  // Last data arrival was CE-marked.
   std::uint64_t acks_sent_ = 0;
 
-  // Server.
+  // Server scoreboard (mechanism state; the controller sees it read-only).
   bool server_conn_open_ = false;
   bool server_sending_ = false;
   std::uint32_t total_segments_ = 0;
   std::uint32_t next_to_send_ = 0;
   std::uint32_t highest_acked_ = 0;  // Cumulative from client.
   std::set<std::uint32_t> sacked_;
-  double cwnd_ = 10.0;
-  double ssthresh_ = 64.0;
-  int dup_acks_ = 0;
   SimDuration rto_ = sec(1);
   bool rtt_measured_ = false;
   double srtt_ = 0.0;
@@ -158,6 +164,14 @@ class TcpWorkload {
   int synack_retries_ = 0;
   std::map<std::uint32_t, SimTime> send_times_;     // First-transmission times.
   std::map<std::uint32_t, SimTime> retransmitted_;  // Last retransmit time.
+
+  // Pacing (used only when the controller reports a nonzero rate). A
+  // pacing controller smooths retransmissions too -- controller-requested
+  // repairs queue here and leave at the paced rate ahead of new data,
+  // instead of bursting a whole window of repairs into the bottleneck.
+  SimTime pacing_release_ = 0;
+  bool pacing_timer_armed_ = false;
+  std::deque<std::uint32_t> paced_retx_;
 
   TcpServerStats server_stats_;
 };

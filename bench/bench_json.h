@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -54,6 +55,13 @@ class JsonRow {
 
   JsonRow& add(std::string_view key, double value) {
     field_key(key);
+    if (!std::isfinite(value)) {
+      // JSON has no NaN/Infinity literal; empty-set percentiles are NaN by
+      // contract (see Samples::percentile), so emit null rather than a row
+      // the CI validator rejects.
+      buf_ += "null";
+      return *this;
+    }
     char num[64];
     // %.6g keeps rates readable while staying stable enough to diff.
     std::snprintf(num, sizeof(num), "%.6g", value);

@@ -34,6 +34,7 @@ THROUGHPUT_FIELDS = (
     "mev_per_sec",
     "events_per_sec",
     "mops_per_sec",
+    "sessions_per_sec",
 )
 
 # Numeric fields that identify a row's configuration rather than measure it.

@@ -105,18 +105,32 @@ double Rng::pareto(double xm, double alpha) {
 
 std::uint32_t Rng::poisson(double mean) {
   if (mean <= 0.0) return 0;
-  if (mean > 64.0) {
-    // Normal approximation with continuity correction; adequate for the
-    // workload generators that use large means (e.g. OFF periods).
+  if (mean > 256.0) {
+    // Normal approximation with continuity correction; adequate only for
+    // very large means, where skewness (1/sqrt(mean)) is negligible.
     double v = normal(mean, std::sqrt(mean)) + 0.5;
     if (v < 0.0) v = 0.0;
     return static_cast<std::uint32_t>(v);
   }
-  const double limit = std::exp(-mean);
-  double prod = next_double();
+  // Knuth's algorithm in the log domain: accumulate log(u_i) until the sum
+  // crosses -mean. The classic running-product form compares against
+  // exp(-mean), which for means in the tens sits so deep in the double
+  // range (exp(-64) ~ 1.6e-28) that the product's relative error -- and
+  // eventually denormalization -- distorts the count; summing logs keeps
+  // every intermediate O(mean). This also lets the exact sampler cover the
+  // whole regime the churn arrival processes draw from (means near and
+  // above the old 64.0 cutover), where the normal approximation's missing
+  // skew was measurable.
+  const double neg_mean = -mean;
+  auto log_u = [this] {
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return std::log(u);
+  };
+  double s = log_u();
   std::uint32_t n = 0;
-  while (prod > limit) {
-    prod *= next_double();
+  while (s > neg_mean) {
+    s += log_u();
     ++n;
   }
   return n;

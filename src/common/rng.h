@@ -50,8 +50,10 @@ class Rng {
   // Pareto with scale xm > 0 and shape alpha > 0; heavy-tailed delays.
   double pareto(double xm, double alpha);
 
-  // Poisson-distributed count with the given mean (Knuth for small means,
-  // normal approximation above 64).
+  // Poisson-distributed count with the given mean. Exact sampling (Knuth's
+  // algorithm, run in the log domain so nothing underflows) up to mean 256;
+  // normal approximation beyond, where the distribution's skew is
+  // negligible.
   std::uint32_t poisson(double mean);
 
   // A child generator whose stream is independent of this one; `label`

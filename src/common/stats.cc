@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -59,10 +60,23 @@ void Samples::ensure_sorted() const {
 }
 
 double Samples::mean() const {
+  // Neumaier-compensated summation: naive accumulation over multi-million-
+  // sample sets loses the small samples entirely once the running sum grows
+  // large (or cancels), which skewed soak-run means. The compensation term
+  // recovers the rounding error of every add.
   if (xs_.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : xs_) s += x;
-  return s / static_cast<double>(xs_.size());
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double x : xs_) {
+    const double t = sum + x;
+    if (std::abs(sum) >= std::abs(x)) {
+      comp += (sum - t) + x;
+    } else {
+      comp += (x - t) + sum;
+    }
+    sum = t;
+  }
+  return (sum + comp) / static_cast<double>(xs_.size());
 }
 
 double Samples::min() const {
@@ -76,7 +90,7 @@ double Samples::max() const {
 }
 
 double Samples::percentile(double p) const {
-  if (xs_.empty()) return 0.0;
+  if (xs_.empty()) return std::numeric_limits<double>::quiet_NaN();
   ensure_sorted();
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
@@ -112,19 +126,162 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  std::ptrdiff_t i = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  i = std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(i)];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  // In-range values can still compute to bins() due to floating rounding at
+  // the upper edge; pin those to the last bin.
+  std::size_t i = static_cast<std::size_t>((x - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
 }
 
 double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 
 double Histogram::cumulative_fraction(std::size_t i) const {
   if (total_ == 0) return 0.0;
-  std::size_t c = 0;
+  std::size_t c = underflow_;
   for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) c += counts_[b];
   return static_cast<double>(c) / static_cast<double>(total_);
+}
+
+QuantileSketch::QuantileSketch(std::size_t k) : k_(std::max<std::size_t>(k, 8)) {
+  // An odd capacity would strand a leftover item on every compaction; keep
+  // it even so the steady-state add path always compacts a full buffer.
+  if (k_ % 2 != 0) ++k_;
+  levels_.emplace_back();
+  levels_[0].reserve(k_);
+  parity_.push_back(0);
+}
+
+void QuantileSketch::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  levels_[0].push_back(x);
+  if (levels_[0].size() >= k_) compact(0);
+}
+
+void QuantileSketch::compact(std::size_t level) {
+  // Sort the full level and promote every other element with doubled
+  // weight. The starting parity alternates per level across compactions so
+  // neither the even nor the odd ranks are systematically favored; it is
+  // part of the sketch state, keeping the whole structure (and thus merged
+  // fingerprints) a pure function of the insertion sequence. An odd-sized
+  // level (possible after merge) leaves its minimum behind at the same
+  // weight, so total weight is always conserved exactly.
+  if (level + 1 >= levels_.size()) {
+    levels_.emplace_back();
+    levels_[level + 1].reserve(k_);
+    parity_.push_back(0);
+  }
+  std::vector<double>& cur = levels_[level];
+  std::sort(cur.begin(), cur.end());
+  std::size_t start = 0;
+  if (cur.size() % 2 != 0) start = 1;  // cur[0] stays as the leftover.
+  const std::size_t offset = parity_[level];
+  parity_[level] ^= 1;
+  std::vector<double>& up = levels_[level + 1];
+  for (std::size_t i = start + offset; i < cur.size(); i += 2) up.push_back(cur[i]);
+  if (start == 1) {
+    const double leftover = cur[0];
+    cur.clear();
+    cur.push_back(leftover);
+  } else {
+    cur.clear();
+  }
+  if (up.size() >= k_) compact(level + 1);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+    parity_.resize(other.levels_.size(), 0);
+  }
+  for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(), other.levels_[l].end());
+  }
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].size() >= k_) compact(l);
+  }
+}
+
+double QuantileSketch::min() const {
+  return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double QuantileSketch::max() const {
+  return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::size_t QuantileSketch::retained() const {
+  std::size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+
+  // Gather the weighted survivors. Each level-L item stands for 2^L of the
+  // original samples, occupying a block of consecutive order-statistic
+  // ranks; with every weight 1 (n <= k) this walk reduces exactly to
+  // Samples::percentile's interpolation.
+  struct Item {
+    double value;
+    std::uint64_t weight;
+  };
+  std::vector<Item> items;
+  items.reserve(retained());
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t w = 1ULL << l;
+    for (double v : levels_[l]) items.push_back(Item{v, w});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.value < b.value;
+  });
+
+  const double rank = q * static_cast<double>(n_ - 1);
+  const std::uint64_t lo_rank = static_cast<std::uint64_t>(rank);
+  const std::uint64_t hi_rank = std::min<std::uint64_t>(lo_rank + 1, n_ - 1);
+  const double frac = rank - static_cast<double>(lo_rank);
+
+  double lo_val = items.back().value;
+  double hi_val = items.back().value;
+  bool lo_set = false;
+  std::uint64_t cum = 0;
+  for (const Item& it : items) {
+    cum += it.weight;
+    if (!lo_set && cum > lo_rank) {
+      lo_val = it.value;
+      lo_set = true;
+    }
+    if (cum > hi_rank) {
+      hi_val = it.value;
+      break;
+    }
+  }
+  return lo_val * (1.0 - frac) + hi_val * frac;
 }
 
 std::string summarize_percentiles(const Samples& s) {

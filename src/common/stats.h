@@ -1,6 +1,7 @@
 // Statistics utilities used throughout the evaluation harness: streaming
-// moments, sample sets with percentile/CDF/CCDF extraction, and fixed-bin
-// histograms (e.g. the PSNR bins of Figure 9(a)).
+// moments, sample sets with percentile/CDF/CCDF extraction, fixed-bin
+// histograms (e.g. the PSNR bins of Figure 9(a)), and an O(1)-memory
+// streaming quantile sketch for soak runs too large to store every sample.
 #pragma once
 
 #include <cstddef>
@@ -48,7 +49,11 @@ class Samples {
   double min() const;
   double max() const;
 
-  // Linear-interpolated percentile, p in [0, 100].
+  // Linear-interpolated percentile, p in [0, 100]. NaN on an empty set (a
+  // 0.0 would be indistinguishable from a real zero sample). With one
+  // sample every percentile is that sample; with two, p interpolates
+  // linearly between them. QuantileSketch matches these answers exactly
+  // while all data still fits in its level-0 buffer.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
@@ -75,8 +80,10 @@ class Samples {
   mutable bool sorted_valid_ = false;
 };
 
-// Fixed-width binned histogram over [lo, hi); out-of-range samples clamp to
-// the end bins (the paper's PSNR CDF clamps scores the same way).
+// Fixed-width binned histogram over [lo, hi). Out-of-range samples are NOT
+// clamped into the edge bins (that silently corrupted the tail bins of the
+// Figure 9(a) PSNR histograms); they are counted separately as underflow
+// (x < lo) and overflow (x >= hi) and still contribute to total().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -88,13 +95,73 @@ class Histogram {
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 
-  // Cumulative fraction of samples in bins [0, i].
+  // Samples below lo / at-or-above hi, kept out of the bins.
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t in_range() const { return total_ - underflow_ - overflow_; }
+
+  // Cumulative fraction of samples <= bin_hi(i): underflow plus bins
+  // [0, i], over total(). Reaches 1.0 at the last bin only when nothing
+  // overflowed, which is exactly what a CDF over [lo, hi) should say.
   double cumulative_fraction(std::size_t i) const;
 
  private:
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+// Streaming quantile estimation in O(k log(n/k)) memory -- the soak-run
+// replacement for Samples, which stores every value and cannot survive a
+// 10M-session churn run. MRL/KLL-style: a stack of capacity-k buffers where
+// level L holds items of weight 2^L. A full level is sorted and every other
+// element (alternating parity per level, tracked in the sketch state so the
+// whole structure is a pure function of the insertion sequence) is promoted
+// to the next level with doubled weight.
+//
+// Contracts:
+//  * Exact while n <= k: everything sits unweighted in level 0 and
+//    quantile() uses the same rank interpolation as Samples::percentile, so
+//    small-n answers are bit-identical to Samples (goldens in common_test).
+//  * percentile() of an empty sketch is NaN, matching Samples.
+//  * merge() mirrors OnlineStats::merge: per-shard sketches combine into
+//    the totals sketch, and the result is a deterministic function of the
+//    operand states and merge order. ShardedRunner-style callers merge in
+//    shard-index order, making merged quantiles bit-identical across
+//    thread counts.
+//  * Rank error: observed well under 1% of n at p50/p99/p999 for k = 1024
+//    over multi-million-sample streams (pinned by tests/workload_test.cc).
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::size_t k = 1024);
+
+  void add(double x);
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double min() const;  // NaN when empty.
+  double max() const;  // NaN when empty.
+
+  // Interpolated quantile estimate, q in [0, 1]; NaN when empty.
+  double quantile(double q) const;
+  // Samples-compatible spelling, p in [0, 100].
+  double percentile(double p) const { return quantile(p / 100.0); }
+
+  // Stored values across all levels (memory footprint, not sample count).
+  std::size_t retained() const;
+
+ private:
+  void compact(std::size_t level);
+
+  std::size_t k_;
+  std::uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::vector<double>> levels_;
+  std::vector<std::uint8_t> parity_;  // Per-level compaction phase.
 };
 
 // Renders "p50=.. p90=.. p99=.." for log lines and reports.

@@ -32,6 +32,20 @@ void Receiver::expect_flow(FlowId flow) {
   }
 }
 
+void Receiver::forget_flow(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  FlowState& fs = it->second;
+  if (fs.timer_armed) {
+    net_.sim().cancel(fs.timer);
+    fs.timer_armed = false;
+  }
+  // Bump the generation so an already-dispatched timer closure that raced
+  // the cancel finds a stale generation even if the flow id is reused.
+  ++fs.timer_gen;
+  flows_.erase(it);
+}
+
 void Receiver::set_rtt_estimate(SimDuration rtt) {
   config_.rtt_estimate = rtt;
   for (auto& [flow, fs] : flows_) fs.detector.update_rtt(rtt);
@@ -166,10 +180,14 @@ void Receiver::deliver(FlowId flow, SeqNo seq, const PacketPtr& pkt, bool recove
   rec.detected_missing_at = detected_at;
   if (recovered) {
     ++stats_.delivered_recovered;
-    if (detected_at > 0) recovery_delay_ms_.add(to_ms(now - detected_at));
+    if (detected_at > 0 && config_.record_delay_samples) {
+      recovery_delay_ms_.add(to_ms(now - detected_at));
+    }
   } else {
     ++stats_.delivered_direct;
-    if (pkt->sent_at > 0) direct_delay_ms_.add(to_ms(now - pkt->sent_at));
+    if (pkt->sent_at > 0 && config_.record_delay_samples) {
+      direct_delay_ms_.add(to_ms(now - pkt->sent_at));
+    }
   }
   if (on_delivery_) on_delivery_(rec, pkt);
 }

@@ -62,6 +62,11 @@ struct ReceiverConfig {
   double coop_slow_prob = 0.0;
   SimDuration coop_slow_min = msec(120);
   SimDuration coop_slow_max = msec(450);
+  // Record per-packet delay Samples (recovery_delay_ms / direct_delay_ms).
+  // These grow one double per delivered packet -- fine for figure runs,
+  // unbounded for million-session soaks, which turn them off and rely on
+  // O(1)-memory sketches instead (see workload::run_churn).
+  bool record_delay_samples = true;
   std::uint64_t rng_seed = 1;
 };
 
@@ -113,6 +118,15 @@ class Receiver final : public netsim::Node {
 
   // Starts tracking a flow (first expected sequence number is 0).
   void expect_flow(FlowId flow);
+
+  // Stops tracking a flow and reclaims ALL of its state (gap map, reorder
+  // buffer, history buffer, deferred coop requests, in-stream coded
+  // batches, detector, timer). Packets of the flow that are still in
+  // flight arrive as unknown-flow packets, which every handler already
+  // ignores; a cooperative request for a forgotten flow counts as a miss.
+  // Session churn depends on this being a complete teardown: per-flow
+  // memory must be O(live flows), not O(flows ever seen).
+  void forget_flow(FlowId flow);
 
   void handle_packet(const PacketPtr& pkt) override;
 

@@ -23,6 +23,8 @@ void Sender::register_flow(FlowId flow, const SenderPolicy& policy) {
   flows_[flow] = std::move(fs);
 }
 
+void Sender::unregister_flow(FlowId flow) { flows_.erase(flow); }
+
 SeqNo Sender::send(FlowId flow, std::size_t payload_bytes) {
   return send_payload(flow, std::vector<std::uint8_t>(payload_bytes, 0));
 }

@@ -53,6 +53,10 @@ class Sender final : public netsim::Node {
 
   void register_flow(FlowId flow, const SenderPolicy& policy);
 
+  // Drops all per-flow state (policy, sequence counter). Sending on the
+  // flow afterwards throws, exactly as for a never-registered flow.
+  void unregister_flow(FlowId flow);
+
   // Sends the next packet of `flow` with a synthetic payload of
   // `payload_bytes`; returns its sequence number.
   SeqNo send(FlowId flow, std::size_t payload_bytes);

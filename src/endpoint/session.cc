@@ -36,4 +36,10 @@ Session SessionManager::register_flow(Sender& sender, Receiver& receiver,
   return session;
 }
 
+void SessionManager::unregister_flow(Sender& sender, Receiver& receiver, FlowId flow) {
+  sender.unregister_flow(flow);
+  receiver.forget_flow(flow);
+  registry_->unregister_flow(flow);
+}
+
 }  // namespace jqos::endpoint

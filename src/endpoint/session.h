@@ -46,6 +46,14 @@ class SessionManager {
   // Registers a new flow from `sender` to `receiver` and wires every layer.
   Session register_flow(Sender& sender, Receiver& receiver, const RegisterRequest& req);
 
+  // Tears the flow down across the same layers register_flow wired up:
+  // sender policy/sequence state, receiver tracking state, and the DC-side
+  // flow registry entry. DC-side queue/batch state keyed by the flow is
+  // reclaimed by the services themselves (the encoder on departure
+  // notification, the recovery DC by TTL sweep). Safe to call for an
+  // unknown flow (no-op), so late teardown races are harmless.
+  void unregister_flow(Sender& sender, Receiver& receiver, FlowId flow);
+
   const services::FlowRegistry& registry() const { return *registry_; }
 
  private:

@@ -104,6 +104,8 @@ void ScenarioShard::build_path(IndexedPath path) {
   // Wide-area testbed hosts are sometimes slow to answer cooperative
   // requests (the straggler problem, Section 4.4).
   rc.coop_slow_prob = params_.coop_slow_prob;
+  rc.buffer_packets = params_.receiver_buffer_packets;
+  rc.record_delay_samples = params_.record_delay_samples;
   rc.rng_seed = Rng::derive(pseed, "receiver-coop");
   PathRuntime* rt_raw = rt.get();
   rt->receiver = std::make_unique<endpoint::Receiver>(
@@ -215,6 +217,41 @@ void ScenarioShard::build_path(IndexedPath path) {
 
   // The workload app is instantiated in run(), where per-path skew is known.
   paths_.push_back(std::move(rt));
+}
+
+FlowId ScenarioShard::open_session(std::size_t path_index) {
+  PathRuntime& rt = *paths_.at(path_index);
+  endpoint::RegisterRequest req;
+  req.force_service = params_.service;
+  req.dc1 = rt.dc1->id();
+  req.dc2 = rt.dc2->id();
+  req.delays.y_ms = rt.path.y_ms;
+  req.delays.delta_s_ms = rt.path.delta_s_ms;
+  req.delays.delta_r_ms = rt.path.delta_r_ms;
+  req.delays.x_ms = rt.path.x_ms;
+  req.delays.delta_r_median_ms = rt.path.delta_r_ms;
+  req.coding_rate = params_.coding.cross_rate();
+  return sessions_.register_flow(*rt.sender, *rt.receiver, req).flow;
+}
+
+void ScenarioShard::close_session(std::size_t path_index, FlowId flow) {
+  PathRuntime& rt = *paths_.at(path_index);
+  // Look the flow up BEFORE unwinding the registry entry: the encoder needs
+  // the dc2 group key, and its residual-queue flush re-reads the registry.
+  const services::FlowInfo* info = registry_->find(flow);
+  if (info != nullptr) {
+    for (std::size_t i = 0; i < overlay_->dc_count(); ++i) {
+      if (&overlay_->dc(i) == rt.dc1) {
+        encoders_[i]->flow_departed(flow, info->dc2);
+        break;
+      }
+    }
+  }
+  sessions_.unregister_flow(*rt.sender, *rt.receiver, flow);
+}
+
+void ScenarioShard::flush_encoders() {
+  for (auto& enc : encoders_) enc->flush_all();
 }
 
 void ScenarioShard::run(SimDuration duration) {

@@ -85,6 +85,13 @@ struct WanScenarioParams {
   // Probability a receiver answers a cooperative request late (straggler).
   double coop_slow_prob = 0.10;
   bool use_markov = true;
+  // Per-packet delay Samples at the receivers (see ReceiverConfig); churn
+  // soaks disable them to keep memory O(active sessions).
+  bool record_delay_samples = true;
+  // Receiver history depth (cooperative responses / in-stream decode). The
+  // figure scenarios keep the generous default; churn workloads with short
+  // sessions size it to the session length.
+  std::size_t receiver_buffer_packets = 1024;
   std::uint64_t seed = 1;
   // Queue-disc configuration handed to the shard's Network; consulted only
   // by finite-bandwidth links (the default WAN topology is latency-only, so
@@ -152,6 +159,25 @@ class ScenarioShard {
   // Runs the CBR workload on every path for `duration`, then drains
   // in-flight recoveries.
   void run(SimDuration duration);
+
+  // --- dynamic session churn (src/workload) ---
+  // Each path's host pair is long-lived infrastructure; sessions are flows
+  // churning over it. open_session registers a fresh flow across the
+  // path's sender/receiver/DCs with the same service selection build_path
+  // used; close_session notifies the path's ingress encoder (residual
+  // queue flush + group shrink) and unwinds sender/receiver/registry
+  // state. Callers observe deliveries by replacing the path receiver's
+  // delivery handler (path(i).receiver->set_delivery_handler) with a
+  // flow-dispatching one -- the default recorder assumes the single
+  // build-time flow.
+  FlowId open_session(std::size_t path_index);
+  void close_session(std::size_t path_index, FlowId flow);
+  // Flushes every encoder queue (end-of-run drain for churn workloads).
+  void flush_encoders();
+
+  endpoint::SessionManager& sessions() { return sessions_; }
+  // Registered-flow count; a drained churn run must report 0 (leak check).
+  std::size_t registered_flows() const { return registry_->size(); }
 
   std::size_t path_count() const { return paths_.size(); }
   PathRuntime& path(std::size_t i) { return *paths_.at(i); }

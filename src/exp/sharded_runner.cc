@@ -29,13 +29,8 @@ std::vector<std::vector<std::size_t>> interaction_groups(
 
 }  // namespace
 
-ShardedRunner::ShardedRunner(std::vector<geo::PathSample> paths,
-                             const WanScenarioParams& params,
-                             const ShardedRunParams& run_params)
-    : params_(params),
-      run_params_(run_params),
-      backend_(netsim::evq_default_backend()),
-      total_paths_(paths.size()) {
+std::vector<std::vector<IndexedPath>> plan_shards(
+    const std::vector<geo::PathSample>& paths, std::size_t num_shards) {
   auto groups = interaction_groups(paths);
 
   // LPT bin-packing of groups into shards: sort groups by size descending
@@ -43,8 +38,7 @@ ShardedRunner::ShardedRunner(std::vector<geo::PathSample> paths,
   // then place each into the currently lightest shard. num_shards == 0
   // means one shard per group.
   const std::size_t shard_count =
-      run_params_.num_shards == 0 ? groups.size()
-                                  : std::min(run_params_.num_shards, groups.size());
+      num_shards == 0 ? groups.size() : std::min(num_shards, groups.size());
   std::vector<std::size_t> order(groups.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(), [&groups](std::size_t a, std::size_t b) {
@@ -53,9 +47,9 @@ ShardedRunner::ShardedRunner(std::vector<geo::PathSample> paths,
 
   // Every shard ends up non-empty: shard_count <= groups.size() and LPT
   // always places into a zero-load shard while one exists.
-  plans_.resize(shard_count);
-  std::vector<std::size_t> load(plans_.size(), 0);
-  std::vector<std::vector<std::size_t>> shard_paths(plans_.size());
+  std::vector<std::vector<IndexedPath>> plans(shard_count);
+  std::vector<std::size_t> load(plans.size(), 0);
+  std::vector<std::vector<std::size_t>> shard_paths(plans.size());
   for (std::size_t g : order) {
     const std::size_t lightest = static_cast<std::size_t>(
         std::min_element(load.begin(), load.end()) - load.begin());
@@ -66,13 +60,24 @@ ShardedRunner::ShardedRunner(std::vector<geo::PathSample> paths,
   // Within a shard, paths keep ascending global-index order: flow ids are
   // handed out in build order, so the relative order of any two same-group
   // paths (the only order that can matter) matches every other composition.
-  for (std::size_t s = 0; s < plans_.size(); ++s) {
+  for (std::size_t s = 0; s < plans.size(); ++s) {
     std::sort(shard_paths[s].begin(), shard_paths[s].end());
-    plans_[s].reserve(shard_paths[s].size());
+    plans[s].reserve(shard_paths[s].size());
     for (std::size_t p : shard_paths[s]) {
-      plans_[s].push_back(IndexedPath{p, paths[p]});
+      plans[s].push_back(IndexedPath{p, paths[p]});
     }
   }
+  return plans;
+}
+
+ShardedRunner::ShardedRunner(std::vector<geo::PathSample> paths,
+                             const WanScenarioParams& params,
+                             const ShardedRunParams& run_params)
+    : params_(params),
+      run_params_(run_params),
+      backend_(netsim::evq_default_backend()),
+      total_paths_(paths.size()) {
+  plans_ = plan_shards(paths, run_params_.num_shards);
 }
 
 ShardedRunner::~ShardedRunner() = default;

@@ -41,6 +41,15 @@ struct ShardedRunParams {
   unsigned num_threads = 0;
 };
 
+// The partition both ShardedRunner and the workload layer's churn runner
+// use: groups paths by (DC1, DC2) interaction group in first-appearance
+// order, LPT-packs the groups into at most `num_shards` shards (0 = one
+// shard per group), and keeps paths in ascending global-index order within
+// each shard. A pure function of (paths, num_shards) -- never of thread
+// count -- which is what makes merged results thread-count invariant.
+std::vector<std::vector<IndexedPath>> plan_shards(
+    const std::vector<geo::PathSample>& paths, std::size_t num_shards);
+
 class ShardedRunner {
  public:
   ShardedRunner(std::vector<geo::PathSample> paths, const WanScenarioParams& params,

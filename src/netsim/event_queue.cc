@@ -35,8 +35,18 @@ constexpr std::uint64_t kMaxBuckets = std::uint64_t{1} << 13;
 // Depth backstop: at width 1 a bucket holds only equal timestamps and is
 // sorted regardless, so real workloads never get near this.
 constexpr std::size_t kMaxRungs = 40;
-// Cap on recycled bucket vectors; total pooled capacity is O(peak live).
+// Caps on recycled bucket storage. The pool only needs to absorb one
+// spread's worth of bucket vectors between a rung being consumed and the
+// next spawn_rung taking them back, so its TOTAL capacity is held to a
+// small multiple of the slab high-water mark (peak simultaneously live
+// events) with a fixed floor for tiny queues. Overflow is simply freed --
+// without the byte bound, steady-state workloads that consume buckets far
+// more often than they spawn rungs ratchet pooled storage up linearly for
+// the whole run (each consumption recycles a capacity-bearing vector, and
+// only a spread, ~once per rung exhaustion, draws any back out).
 constexpr std::size_t kPoolCap = std::size_t{1} << 17;
+constexpr std::size_t kPoolMinEntries = std::size_t{1} << 12;
+constexpr std::size_t kPoolSlabFactor = 8;
 
 constexpr std::uint64_t kMaxSlots = std::uint64_t{1} << 24;  // Entry::slot width.
 
@@ -205,6 +215,10 @@ std::size_t EventQueue::pop_ready(SimTime horizon, std::vector<Fired>& out) {
 
 void EventQueue::recycle_bucket(std::vector<Entry>&& v) {
   if (v.capacity() == 0 || bucket_pool_.size() >= kPoolCap) return;
+  const std::size_t limit =
+      std::max(kPoolMinEntries, kPoolSlabFactor * slots_.size());
+  if (pool_entries_ + v.capacity() > limit) return;  // Full: free it instead.
+  pool_entries_ += v.capacity();
   v.clear();
   bucket_pool_.push_back(std::move(v));
 }
@@ -250,12 +264,15 @@ void EventQueue::ladder_push(const Entry& e) {
 
 void EventQueue::sort_into_bottom(std::vector<Entry>& bucket, SimTime start,
                                   std::uint64_t width) {
-  recycle_bucket(std::move(bottom_));
   // Bucket entries arrive in push order (monotonic seq), both from direct
   // pushes and from spreads (which preserve source order), so a STABLE sort
   // by time alone yields the full (time, seq) delivery order. When the
   // bucket's time span is narrow relative to its population, a stable
   // counting sort by time offset does it in O(n + width) with no compares.
+  // The counting path scatters into bottom_'s EXISTING storage (it is
+  // already drained when this runs): churning it through the pool and
+  // reallocating per bucket would both malloc on the hot path and feed the
+  // pool faster than spreads drain it.
   if (width <= 2 * bucket.size() + 64) {
     counts_.assign(static_cast<std::size_t>(width), 0);
     for (const Entry& e : bucket) {
@@ -274,6 +291,7 @@ void EventQueue::sort_into_bottom(std::vector<Entry>& bucket, SimTime start,
     }
     recycle_bucket(std::move(bucket));
   } else {
+    recycle_bucket(std::move(bottom_));
     bottom_ = std::move(bucket);
     std::sort(bottom_.begin(), bottom_.end(), EntryLt{});
   }
@@ -296,6 +314,7 @@ void EventQueue::spawn_rung(SimTime base, std::uint64_t span, const std::vector<
         static_cast<std::size_t>(static_cast<std::uint64_t>(e.at - base) >> r.shift);
     auto& bucket = r.buckets[idx];
     if (bucket.capacity() == 0 && !bucket_pool_.empty()) {
+      pool_entries_ -= bucket_pool_.back().capacity();
       bucket = std::move(bucket_pool_.back());
       bucket_pool_.pop_back();
     }
@@ -354,10 +373,9 @@ bool EventQueue::ladder_prepare() {
       hi = std::max(hi, e.at);
     }
     if (top_.size() <= kSortThreshold) {
-      // Small spread: sort top straight into bottom, skipping the rung
-      // machinery entirely -- the common case at simulation tails and in
-      // lightly-loaded phases.
-      recycle_bucket(std::move(bottom_));
+      // Small spread: sort top straight into bottom (reusing its drained
+      // storage), skipping the rung machinery entirely -- the common case
+      // at simulation tails and in lightly-loaded phases.
       bottom_.assign(top_.begin(), top_.end());
       std::sort(bottom_.begin(), bottom_.end(), EntryLt{});
       top_.clear();

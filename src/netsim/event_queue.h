@@ -178,6 +178,13 @@ class EventQueue {
   // this (it must NOT scale with total events pushed over a run).
   std::size_t slab_slots() const { return slots_.size(); }
 
+  // Total capacity (in entries) of the ladder's recycled-bucket pool; 0 for
+  // the heap backend. Held to O(slab_slots) by recycle_bucket -- the memory
+  // regression test pins this (it must NOT scale with run length: bucket
+  // consumptions feed the pool every few events, spreads drain it only when
+  // a rung exhausts).
+  std::size_t pooled_bucket_entries() const { return pool_entries_; }
+
  private:
   struct alignas(64) Slot {
     EventFn fn;
@@ -264,8 +271,12 @@ class EventQueue {
   std::vector<std::uint32_t> counts_;  // Scratch for the counting sort.
   bool ladder_init_ = false;
   // Retired bucket vectors, recycled with their capacity so steady-state
-  // spreads allocate nothing. Total pooled capacity is O(peak live events).
+  // spreads allocate nothing. Bounded by TOTAL capacity (pool_entries_,
+  // kept O(peak live events) by recycle_bucket), not just vector count:
+  // consumptions feed the pool far more often than spreads draw from it,
+  // so a count-only cap lets pooled storage ratchet up for the whole run.
   std::vector<std::vector<Entry>> bucket_pool_;
+  std::size_t pool_entries_ = 0;  // Sum of capacities pooled above.
 };
 
 }  // namespace jqos::netsim

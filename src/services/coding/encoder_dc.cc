@@ -166,6 +166,31 @@ bool CodingEncoderService::queue_contains_flow(const Queue& q, FlowId flow) cons
                      [flow](const PacketPtr& p) { return p->flow == flow; });
 }
 
+void CodingEncoderService::flow_departed(FlowId flow, NodeId dc2) {
+  ++stats_.flow_departures;
+  auto in_it = in_qs_.find(flow);
+  if (in_it != in_qs_.end()) {
+    if (!in_it->second.pkts.empty()) {
+      const FlowInfo* info = registry_->find(flow);
+      if (info != nullptr) {
+        ++stats_.in_batches;
+        encode_queue(in_it->second, params_.in_coded, PacketType::kInCoded, info->dc2);
+      } else {
+        disarm(in_it->second);
+      }
+    } else {
+      disarm(in_it->second);
+    }
+    in_qs_.erase(flow);
+  }
+  rr_cursor_.erase(flow);
+  auto grp = group_flows_.find(dc2);
+  if (grp != group_flows_.end()) {
+    grp->second.erase(flow);
+    if (grp->second.empty()) group_flows_.erase(grp);
+  }
+}
+
 void CodingEncoderService::flush_all() {
   // Flush in ascending FlowId order, not hash order: flows are numbered in
   // path-registration order, so the flush sequence -- and therefore the

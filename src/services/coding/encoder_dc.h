@@ -30,6 +30,7 @@ struct EncoderStats {
   std::uint64_t single_packet_evictions = 0;  // Algorithm 1 line 18.
   std::uint64_t full_scan_flushes = 0;        // Algorithm 1 lines 13-16.
   std::uint64_t unknown_flow = 0;
+  std::uint64_t flow_departures = 0;          // Sessions torn down (churn).
 
   // The one merge definition every totals path (per-shard and cross-shard)
   // uses; a new field added here is summed everywhere or nowhere.
@@ -42,6 +43,7 @@ struct EncoderStats {
     single_packet_evictions += o.single_packet_evictions;
     full_scan_flushes += o.full_scan_flushes;
     unknown_flow += o.unknown_flow;
+    flow_departures += o.flow_departures;
     return *this;
   }
 };
@@ -65,6 +67,17 @@ class CodingEncoderService final : public overlay::DcService {
   // Flushes every non-empty queue immediately (end of experiment / ON
   // interval), as the timers eventually would.
   void flush_all();
+
+  // Session teardown (churn workloads): encodes any residual in-stream
+  // queue for the departing flow, then reclaims all state keyed by it --
+  // the in-stream queue, the round-robin cursor, and its membership in the
+  // dc2 group (shrinking the effective cross-batch size back down as the
+  // population drains). Packets of the flow already sitting in cross
+  // queues are left to flush on their timers; the coded batch remains
+  // decodable because CodedMeta names (flow, seq) pairs explicitly. Must
+  // be called BEFORE the flow leaves the registry (the residual flush
+  // looks it up). O(1) amortized; keeps encoder memory O(live flows).
+  void flow_departed(FlowId flow, NodeId dc2);
 
   const EncoderStats& stats() const { return stats_; }
   const CodingParams& params() const { return params_; }

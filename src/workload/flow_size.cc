@@ -1,0 +1,117 @@
+#include "workload/flow_size.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jqos::workload {
+
+FlowSizeDist FlowSizeDist::from_points(std::vector<CdfPoint> points) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("FlowSizeDist: need at least two CDF points");
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CdfPoint& p = points[i];
+    if (!(p.bytes >= 0.0) || !(p.cum >= 0.0) || !(p.cum <= 1.0 + 1e-9)) {
+      throw std::invalid_argument("FlowSizeDist: point out of range");
+    }
+    if (i > 0 && !(p.bytes > points[i - 1].bytes)) {
+      throw std::invalid_argument("FlowSizeDist: bytes must be strictly increasing");
+    }
+    if (i > 0 && p.cum < points[i - 1].cum) {
+      throw std::invalid_argument("FlowSizeDist: cum must be non-decreasing");
+    }
+  }
+  if (std::abs(points.back().cum - 1.0) > 1e-6) {
+    throw std::invalid_argument("FlowSizeDist: CDF must reach 1.0");
+  }
+  points.back().cum = 1.0;
+  FlowSizeDist dist;
+  dist.points_ = std::move(points);
+  return dist;
+}
+
+FlowSizeDist FlowSizeDist::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FlowSizeDist: cannot open " + path);
+  std::vector<CdfPoint> points;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    double bytes = 0.0, percent = 0.0;
+    if (!(fields >> bytes)) continue;  // Blank or comment-only line.
+    if (!(fields >> percent)) {
+      throw std::runtime_error("FlowSizeDist: " + path + ":" + std::to_string(line_no) +
+                               ": expected \"<bytes> <percent>\"");
+    }
+    points.push_back(CdfPoint{bytes, percent / 100.0});
+  }
+  try {
+    return from_points(std::move(points));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("FlowSizeDist: " + path + ": " + e.what());
+  }
+}
+
+FlowSizeDist FlowSizeDist::app_mix(AppMix mix) {
+  switch (mix) {
+    case AppMix::kVideoCall:
+      // Call payload per session: short clips dominate, few long calls.
+      return from_points({{20e3, 0.0},
+                          {100e3, 0.25},
+                          {400e3, 0.60},
+                          {1e6, 0.85},
+                          {4e6, 1.0}});
+    case AppMix::kWebTransfer:
+      // Web-object shape: ~70% under 20 KB, heavy tail to 1 MB.
+      return from_points({{500, 0.0},
+                          {2e3, 0.30},
+                          {10e3, 0.55},
+                          {20e3, 0.70},
+                          {100e3, 0.90},
+                          {300e3, 0.97},
+                          {1e6, 1.0}});
+    case AppMix::kBulkTcp:
+      // Replication/backup: everything is big, spread over two decades.
+      return from_points({{100e3, 0.0},
+                          {1e6, 0.35},
+                          {5e6, 0.70},
+                          {20e6, 0.92},
+                          {50e6, 1.0}});
+  }
+  throw std::invalid_argument("FlowSizeDist: unknown AppMix");
+}
+
+double FlowSizeDist::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  // First knot with cum >= u; interpolate from its predecessor.
+  auto it = std::lower_bound(points_.begin(), points_.end(), u,
+                             [](const CdfPoint& p, double v) { return p.cum < v; });
+  if (it == points_.begin()) return points_.front().bytes;
+  if (it == points_.end()) return points_.back().bytes;
+  const CdfPoint& lo = *(it - 1);
+  const CdfPoint& hi = *it;
+  const double span = hi.cum - lo.cum;
+  if (span <= 0.0) return hi.bytes;
+  const double frac = (u - lo.cum) / span;
+  return lo.bytes + frac * (hi.bytes - lo.bytes);
+}
+
+double FlowSizeDist::mean_bytes() const {
+  // Within each linear segment the conditional mean is the midpoint.
+  double mean = points_.front().bytes * points_.front().cum;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const CdfPoint& lo = points_[i - 1];
+    const CdfPoint& hi = points_[i];
+    mean += (hi.cum - lo.cum) * 0.5 * (lo.bytes + hi.bytes);
+  }
+  return mean;
+}
+
+}  // namespace jqos::workload

@@ -1,0 +1,63 @@
+// CDF-driven flow (session) sizes for the churn workload.
+//
+// Real WAN applications do not send fixed-size flows: web transfers are
+// heavy-tailed, video calls cluster by call length, bulk TCP spans orders of
+// magnitude. FlowSizeDist captures an empirical size distribution as a
+// piecewise-linear CDF and samples it by inverse transform, so a churn run
+// can be driven either by one of the built-in application mixes or by a
+// measured CDF loaded from a file.
+//
+// The file format is the classic traffic-generator one -- one "<bytes>
+// <cumulative_percent>" pair per line, '#' comments allowed -- so published
+// workload CDFs (web search, data mining, Hadoop) drop in unmodified.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace jqos::workload {
+
+// One knot of the piecewise-linear CDF: P(size <= bytes) == cum.
+struct CdfPoint {
+  double bytes = 0.0;
+  double cum = 0.0;  // Cumulative probability in [0, 1]; last point is 1.
+};
+
+// Built-in application mixes (calibrated shapes, not measured datasets):
+//  kVideoCall   -- call payloads: tens of KB to a few MB, mild tail.
+//  kWebTransfer -- web objects: mostly small, heavy upper tail.
+//  kBulkTcp     -- backup/replication: large, spanning KB to tens of MB.
+enum class AppMix : std::uint8_t { kVideoCall, kWebTransfer, kBulkTcp };
+
+class FlowSizeDist {
+ public:
+  // Builds from explicit knots. Requires at least two points with strictly
+  // increasing bytes and non-decreasing cum reaching 1.0 (within 1e-6; the
+  // last point is normalized to exactly 1). Throws std::invalid_argument.
+  static FlowSizeDist from_points(std::vector<CdfPoint> points);
+
+  // Loads "<bytes> <cumulative_percent>" lines (percent in [0, 100]).
+  // Blank lines and '#' comments are skipped. Throws std::runtime_error on
+  // unreadable files or malformed lines.
+  static FlowSizeDist from_file(const std::string& path);
+
+  static FlowSizeDist app_mix(AppMix mix);
+
+  // Inverse-transform sample: draws u ~ U[0,1) and interpolates the CDF.
+  // Deterministic given the Rng state; never returns less than the first
+  // knot's bytes.
+  double sample(Rng& rng) const;
+
+  // Mean of the piecewise-linear distribution (exact, not sampled).
+  double mean_bytes() const;
+
+  const std::vector<CdfPoint>& points() const { return points_; }
+
+ private:
+  std::vector<CdfPoint> points_;
+};
+
+}  // namespace jqos::workload

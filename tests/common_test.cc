@@ -223,22 +223,181 @@ TEST(Stats, CdfPointsMonotone) {
   }
 }
 
-TEST(Stats, HistogramBinsAndClamping) {
+TEST(Stats, HistogramCountsOutOfRangeSeparately) {
+  // Out-of-range samples must not be clamped into the edge bins: that
+  // silently corrupted tail bins (the Figure 9(a) PSNR histograms). They
+  // are tracked as underflow/overflow and still count toward total().
   Histogram h(0.0, 10.0, 10);
-  h.add(-5.0);   // Clamps into bin 0.
+  h.add(-5.0);  // Underflow, NOT bin 0.
   h.add(0.5);
   h.add(9.5);
-  h.add(15.0);   // Clamps into the last bin.
+  h.add(15.0);  // Overflow, NOT bin 9.
   EXPECT_EQ(h.total(), 4u);
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.in_range(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  // The CDF includes underflow below every bin and tops out short of 1.0
+  // when samples overflowed the range.
   EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.5);
-  EXPECT_DOUBLE_EQ(h.cumulative_fraction(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(9), 0.75);
+}
+
+TEST(Stats, HistogramUpperEdgeIsExclusive) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);  // hi itself is out of range ([lo, hi)).
+  EXPECT_EQ(h.overflow(), 1u);
+  h.add(0.0);  // lo itself is in range.
+  EXPECT_EQ(h.bin_count(0), 1u);
+}
+
+TEST(Stats, PercentileEmptyIsNaN) {
+  // An empty set must be distinguishable from a real zero sample.
+  Samples s;
+  EXPECT_TRUE(std::isnan(s.percentile(50)));
+  EXPECT_TRUE(std::isnan(s.median()));
+}
+
+TEST(Stats, PercentileSingleSample) {
+  Samples s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(37.0), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.5);
+}
+
+TEST(Stats, PercentileTwoSamplesInterpolates) {
+  Samples s;
+  s.add(20.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+}
+
+TEST(Stats, MeanCompensatedSummation) {
+  // A sum whose large terms cancel: naive accumulation loses every small
+  // sample against the 1e16 running total (ulp there is 2.0), so the naive
+  // mean comes out near 4/3 instead of pi/3. Neumaier compensation must
+  // recover the exact value. 10M samples keeps this in soak-run territory.
+  Samples s;
+  constexpr std::size_t kTriples = 3'333'333;
+  s.reserve(3 * kTriples);
+  const double pi = 3.14159265358979323846;
+  for (std::size_t i = 0; i < kTriples; ++i) {
+    s.add(1e16);
+    s.add(pi);
+    s.add(-1e16);
+  }
+  EXPECT_NEAR(s.mean(), pi / 3.0, 1e-9);
+
+  // And on a plain well-conditioned stream the mean agrees with the
+  // streaming (Welford) path to near machine precision.
+  Samples plain;
+  OnlineStats online;
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.lognormal(2.0, 1.0);
+    plain.add(x);
+    online.add(x);
+  }
+  EXPECT_NEAR(plain.mean(), online.mean(), std::abs(online.mean()) * 1e-12);
 }
 
 TEST(Stats, HistogramRejectsDegenerate) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --------------------------- quantile sketch -------------------------------
+
+TEST(QuantileSketch, EmptyIsNaN) {
+  QuantileSketch sk;
+  EXPECT_TRUE(sk.empty());
+  EXPECT_TRUE(std::isnan(sk.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(sk.percentile(99.0)));
+  EXPECT_TRUE(std::isnan(sk.min()));
+  EXPECT_TRUE(std::isnan(sk.max()));
+}
+
+TEST(QuantileSketch, ExactOnSmallSetsMatchesSamples) {
+  // While everything fits in level 0 the sketch must reproduce
+  // Samples::percentile bit for bit -- including the count 0/1/2 edge
+  // cases those are now goldens for.
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{5}, std::size_t{100},
+                        std::size_t{1000}}) {
+    Samples s;
+    QuantileSketch sk(1024);
+    Rng rng(1000 + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.lognormal(1.0, 2.0);
+      s.add(x);
+      sk.add(x);
+    }
+    for (double p : {0.0, 25.0, 37.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+      EXPECT_DOUBLE_EQ(sk.percentile(p), s.percentile(p))
+          << "n=" << n << " p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(sk.min(), s.min());
+    EXPECT_DOUBLE_EQ(sk.max(), s.max());
+  }
+}
+
+TEST(QuantileSketch, RankErrorWithinOnePercent) {
+  // The soak-path accuracy contract (docs/BENCHMARKING.md): estimated
+  // quantiles land within 1% rank error of the exact order statistics at
+  // p50/p99/p999, on a heavy-tailed stream far larger than k.
+  constexpr std::size_t kN = 500000;
+  Samples exact;
+  QuantileSketch sk(1024);
+  Rng rng(77);
+  exact.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double x = rng.lognormal(0.0, 2.0);
+    exact.add(x);
+    sk.add(x);
+  }
+  EXPECT_LT(sk.retained(), std::size_t{32} * 1024);  // O(k log(n/k)) memory.
+  for (double q : {0.50, 0.99, 0.999}) {
+    const double est = sk.quantile(q);
+    const double rank = exact.cdf_at(est);
+    EXPECT_NEAR(rank, q, 0.01) << "q=" << q << " est=" << est;
+  }
+}
+
+TEST(QuantileSketch, MergeIsDeterministicAndAccurate) {
+  // The OnlineStats::merge-style contract: merging per-shard sketches in a
+  // fixed order is reproducible bit for bit, and the merged estimate keeps
+  // the accuracy bound. Shards get different sizes on purpose.
+  constexpr std::size_t kShards = 5;
+  auto build = [](std::size_t shard) {
+    QuantileSketch sk(512);
+    Rng rng(Rng::derive(42, shard));
+    const std::size_t n = 20000 + shard * 13777;
+    for (std::size_t i = 0; i < n; ++i) sk.add(rng.exponential(3.0));
+    return sk;
+  };
+  QuantileSketch merged_a, merged_b;
+  Samples exact;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    QuantileSketch sk = build(s);
+    merged_a.merge(sk);
+    merged_b.merge(sk);
+    Rng rng(Rng::derive(42, s));
+    const std::size_t n = 20000 + s * 13777;
+    for (std::size_t i = 0; i < n; ++i) exact.add(rng.exponential(3.0));
+  }
+  EXPECT_EQ(merged_a.count(), exact.count());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    // Bitwise identical across the two identical merge sequences.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(merged_a.quantile(q)),
+              std::bit_cast<std::uint64_t>(merged_b.quantile(q)));
+    EXPECT_NEAR(exact.cdf_at(merged_a.quantile(q)), q, 0.015) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(merged_a.min(), exact.min());
+  EXPECT_DOUBLE_EQ(merged_a.max(), exact.max());
 }
 
 // -------------------------------- rng -------------------------------------
@@ -355,6 +514,50 @@ TEST(Rng, PoissonMean) {
   for (int i = 0; i < 20000; ++i) large.add(rng.poisson(100.0));
   EXPECT_NEAR(small.mean(), 3.0, 0.1);
   EXPECT_NEAR(large.mean(), 100.0, 1.0);
+}
+
+TEST(Rng, PoissonContinuousAcrossLegacyCutover) {
+  // The old implementation switched from the Knuth product loop to a
+  // normal approximation at mean > 64.0 -- exactly the regime the churn
+  // arrival processes live in -- and the product form's comparison against
+  // exp(-mean) degraded near the boundary. The log-domain sampler is exact
+  // through this whole range, so the distribution must be continuous
+  // across 64.0: matching means/variances AND the Poisson skew on both
+  // sides. The normal approximation has zero skew, so the skewness checks
+  // fail on the pre-fix code.
+  constexpr int kDraws = 200000;
+  auto moments = [](Rng& rng, double mean, double* skew) {
+    OnlineStats s;
+    std::vector<double> xs;
+    xs.reserve(kDraws);
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = rng.poisson(mean);
+      s.add(x);
+      xs.push_back(x);
+    }
+    double m3 = 0.0;
+    for (double x : xs) {
+      const double d = x - s.mean();
+      m3 += d * d * d;
+    }
+    m3 /= static_cast<double>(xs.size());
+    *skew = m3 / (s.stddev() * s.stddev() * s.stddev());
+    return s;
+  };
+
+  Rng below_rng(21), above_rng(22);
+  double skew_below = 0.0, skew_above = 0.0;
+  const OnlineStats below = moments(below_rng, 63.9, &skew_below);
+  const OnlineStats above = moments(above_rng, 64.1, &skew_above);
+
+  EXPECT_NEAR(below.mean(), 63.9, 0.15);
+  EXPECT_NEAR(above.mean(), 64.1, 0.15);
+  EXPECT_NEAR(below.variance(), 63.9, 2.0);
+  EXPECT_NEAR(above.variance(), 64.1, 2.0);
+  // Poisson skewness is 1/sqrt(mean) ~ 0.125 here; the standard error over
+  // 200k draws is ~0.0055, so [0.08, 0.17] is a >5-sigma window.
+  EXPECT_NEAR(skew_below, 1.0 / std::sqrt(63.9), 0.045);
+  EXPECT_NEAR(skew_above, 1.0 / std::sqrt(64.1), 0.045);
 }
 
 TEST(Rng, ParetoRespectsScale) {

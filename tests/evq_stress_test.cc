@@ -224,5 +224,45 @@ TEST(EvqStress, SlabHighWaterTracksPeakLiveNotTotalPushed) {
   }
 }
 
+TEST(EvqStress, BucketPoolCapacityStaysBoundedUnderSteadyChurn) {
+  // Regression for the ladder bucket-pool ratchet: a consumed bucket feeds
+  // the recycle pool every few events, but rung spawns (the only drain)
+  // happen orders of magnitude less often, so a pool capped by vector COUNT
+  // alone accumulates capacity linearly for the whole run. The churn-shaped
+  // workload below -- a recurring far-future event that forces wide rungs,
+  // plus a steady stream of near-future timers that are often cancelled and
+  // re-armed -- must leave total pooled capacity O(peak live events), not
+  // O(events ever pushed).
+  EventQueue q(EvqBackend::kLadder);
+  Rng rng(23);
+  constexpr std::uint64_t kTotal = 2'000'000;
+  SimTime now = 0;
+  EventId sweep = q.push(sec(10), [] {});
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < 512; ++i) q.push(rng.uniform_int(1, 50000), [] {});
+  while (fired < kTotal) {
+    auto f = q.pop();
+    now = f.at;
+    ++fired;
+    // Timer-like behaviour: frequently cancel and re-arm, parking dead
+    // entries in future buckets; keep one event ~10 s out at all times so
+    // every spread covers a wide span (many buckets).
+    EventId id = q.push(now + rng.uniform_int(1, 50000), [] {});
+    if (rng.bernoulli(0.25)) {
+      q.cancel(id);
+      q.push(now + rng.uniform_int(1, 50000), [] {});
+    }
+    if (q.size() < 2) {
+      q.cancel(sweep);
+      sweep = q.push(now + sec(10), [] {});
+    }
+  }
+  // Mirrors recycle_bucket's bound: max(fixed floor, small multiple of the
+  // slab high-water mark). Pre-fix this reached millions of pooled entries.
+  const std::size_t limit =
+      std::max<std::size_t>(std::size_t{1} << 12, 8 * q.slab_slots());
+  EXPECT_LE(q.pooled_bucket_entries(), limit);
+}
+
 }  // namespace
 }  // namespace jqos::netsim

@@ -52,6 +52,28 @@ void Receiver::set_rtt_estimate(SimDuration rtt) {
 }
 
 void Receiver::handle_packet(const PacketPtr& pkt) {
+  if (config_.failover.enabled) {
+    // Any DC2-originated packet is proof of overlay life: recoveries,
+    // in-stream coded packets, cooperative solicitations, NackChecks. For
+    // path-switching receivers, data packets are overlay traffic too --
+    // but only while up; once failed over, kData rides the direct path and
+    // says nothing about the overlay.
+    switch (pkt->type) {
+      case PacketType::kRecovered:
+      case PacketType::kInCoded:
+      case PacketType::kCoopRequest:
+      case PacketType::kNackCheck:
+        note_overlay_evidence();
+        break;
+      case PacketType::kData:
+        if (config_.failover.overlay_carries_data && overlay_up_) {
+          note_overlay_evidence();
+        }
+        break;
+      default:
+        break;
+    }
+  }
   switch (pkt->type) {
     case PacketType::kData:
       on_data(pkt, /*recovered=*/false);
@@ -122,6 +144,11 @@ void Receiver::on_data(const PacketPtr& pkt, bool recovered) {
   // recovered packets say nothing about the direct path, but they do keep
   // the flow (and its timer) alive so outage recovery continues.
   fs.last_activity = now;
+  if (config_.failover.enabled && !overlay_up_ && !probe_armed_) {
+    // Traffic-driven probe restart: the probe chain stops when all flows go
+    // idle (so the event queue can drain); fresh arrivals revive it.
+    arm_probe();
+  }
   if (!recovered) {
     fs.last_arrival = now;
     const SimDuration timeout =
@@ -146,8 +173,14 @@ void Receiver::note_missing(FlowState& fs, FlowId flow, SeqNo from, SeqNo to_exc
 }
 
 void Receiver::send_nack(FlowId flow, FlowState& fs, const std::vector<SeqNo>& missing,
-                         bool tail) {
+                         bool tail, bool probe) {
   if (config_.dc2 == kInvalidNode) return;
+  if (!overlay_up_ && !probe) {
+    // Overlay declared dead: regular NACKs would just feed a black hole.
+    // The probe path (backed-off, one flow) is the only NACK traffic.
+    ++stats_.nacks_suppressed;
+    return;
+  }
   NackInfo info;
   info.tail = tail;
   // Tail probes ask DC2 to scan forward from the frontier of what this
@@ -156,7 +189,10 @@ void Receiver::send_nack(FlowId flow, FlowState& fs, const std::vector<SeqNo>& m
   info.missing = missing;
   auto nack = std::make_shared<Packet>();
   nack->type = PacketType::kNack;
-  nack->service = config_.recovery_service;
+  // Probes always address the coding service: even when the flow's recovery
+  // runs elsewhere (or nowhere -- path switching), a live RecoveryService
+  // answers an uncovered-key NACK with a kNackCheck, which is evidence.
+  nack->service = probe ? ServiceType::kCode : config_.recovery_service;
   nack->flow = flow;
   nack->seq = missing.empty() ? fs.next_expected : missing.front();
   nack->src = node_id_;
@@ -166,6 +202,18 @@ void Receiver::send_nack(FlowId flow, FlowState& fs, const std::vector<SeqNo>& m
   ++stats_.nacks_sent;
   if (tail) ++stats_.tail_nacks_sent;
   net_.send(node_id_, nack);
+  if (config_.failover.enabled && !probe && overlay_up_) {
+    ++unanswered_nacks_;
+    // First NACK ever starts the expectation clock: from here on the
+    // overlay owes us a reply, so prolonged silence becomes meaningful
+    // even if DC2 never showed a sign of life.
+    if (last_overlay_signal_ < 0) last_overlay_signal_ = net_.sim().now();
+    const bool silent = net_.sim().now() - last_overlay_signal_ >=
+                        config_.failover.nack_silence;
+    if (silent && unanswered_nacks_ >= config_.failover.max_unanswered_nacks) {
+      declare_overlay_down();
+    }
+  }
 }
 
 void Receiver::deliver(FlowId flow, SeqNo seq, const PacketPtr& pkt, bool recovered,
@@ -424,6 +472,14 @@ void Receiver::on_timer(FlowId flow, std::uint64_t gen) {
   fs.timer_armed = false;
 
   const SimTime now = net_.sim().now();
+  if (config_.failover.enabled && config_.failover.overlay_carries_data && overlay_up_ &&
+      last_overlay_signal_ >= 0 &&
+      now - last_overlay_signal_ >= config_.failover.data_silence) {
+    // All data rides the overlay and NOTHING -- no data on any flow, no DC2
+    // control traffic -- has been heard for the silence window, yet this
+    // flow's timer is still live (there is demand): the overlay is gone.
+    declare_overlay_down();
+  }
   const bool was_short =
       config_.use_markov && fs.detector.state() == MarkovDetector::State::kShort;
   const SimDuration next_timeout =
@@ -475,6 +531,79 @@ void Receiver::on_timer(FlowId flow, std::uint64_t gen) {
       (fs.last_activity >= 0 && now - fs.last_activity < config_.idle_stop) ||
       !fs.missing.empty();
   if (active) arm_timer(flow, fs, next_timeout);
+}
+
+void Receiver::note_overlay_evidence() {
+  last_overlay_signal_ = net_.sim().now();
+  unanswered_nacks_ = 0;
+  if (!overlay_up_) declare_overlay_up();
+}
+
+void Receiver::declare_overlay_down() {
+  if (!overlay_up_) return;
+  overlay_up_ = false;
+  ++stats_.failovers;
+  unanswered_nacks_ = 0;
+  probe_backoff_ = 0;
+  arm_probe();
+  if (on_overlay_) on_overlay_(false, net_.sim().now());
+}
+
+void Receiver::declare_overlay_up() {
+  if (overlay_up_) return;
+  overlay_up_ = true;
+  ++stats_.reengages;
+  if (probe_armed_) {
+    net_.sim().cancel(probe_timer_);
+    probe_armed_ = false;
+  }
+  ++probe_gen_;  // Invalidate any closure that raced the cancel.
+  probe_backoff_ = 0;
+  if (on_overlay_) on_overlay_(true, net_.sim().now());
+}
+
+void Receiver::arm_probe() {
+  probe_backoff_ = probe_backoff_ == 0
+                       ? config_.failover.probe_base
+                       : std::min(probe_backoff_ * 2, config_.failover.probe_cap);
+  const std::uint64_t gen = ++probe_gen_;
+  probe_armed_ = true;
+  probe_timer_ = net_.sim().after(probe_backoff_, [this, gen] { on_probe(gen); });
+}
+
+void Receiver::on_probe(std::uint64_t gen) {
+  if (!probe_armed_ || probe_gen_ != gen) return;
+  probe_armed_ = false;
+  if (overlay_up_) return;
+  send_probe();
+  // Re-arm only while some flow is live: once the workload drains the probe
+  // chain must stop, or Simulator::run() would never see an empty queue.
+  if (any_active_flow()) arm_probe();
+}
+
+void Receiver::send_probe() {
+  if (config_.dc2 == kInvalidNode) return;
+  // Probe on the lowest live flow id (a stable identity across runs and
+  // thread counts, unlike unordered_map iteration order).
+  FlowState* fs = nullptr;
+  FlowId flow = 0;
+  for (auto& [id, state] : flows_) {
+    if (fs == nullptr || id < flow) {
+      fs = &state;
+      flow = id;
+    }
+  }
+  if (fs == nullptr) return;
+  ++stats_.probes_sent;
+  send_nack(flow, *fs, {fs->next_expected}, /*tail=*/false, /*probe=*/true);
+}
+
+bool Receiver::any_active_flow() const {
+  const SimTime now = net_.sim().now();
+  for (const auto& [flow, fs] : flows_) {
+    if (fs.last_activity >= 0 && now - fs.last_activity < config_.idle_stop) return true;
+  }
+  return false;
 }
 
 }  // namespace jqos::endpoint

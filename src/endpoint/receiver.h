@@ -29,6 +29,40 @@
 
 namespace jqos::endpoint {
 
+// Overlay-death detection and direct-path failover (receiver side).
+//
+// DC2 answers every NACK one way or another -- with recovered packets,
+// in-stream coded packets, or a kNackCheck when it has no coverage -- so a
+// run of NACKs with no DC2-originated packet in between is a death signal.
+// Path-switching flows (no direct copies) additionally watch for outright
+// data silence, since all their traffic rides the overlay. Once the overlay
+// is declared down the receiver notifies its overlay handler (the scenario
+// wires this to the sender's direct-path override), suppresses regular
+// NACKs, and probes DC2 with capped exponential backoff; any
+// overlay-originated arrival re-engages immediately.
+struct FailoverParams {
+  bool enabled = false;
+  // Declare the overlay dead after this many consecutive unanswered NACKs.
+  int max_unanswered_nacks = 3;
+  // The NACK counter alone is not enough: a loss burst can emit several
+  // NACKs within one RTT, before the first recovery reply has had time to
+  // return. The counter therefore only declares death once the overlay has
+  // also been signal-silent (no DC2-originated packet, and no overlay data
+  // for path-switching flows) for at least this long.
+  SimDuration nack_silence = msec(200);
+  // Path-switching flows: data itself rides the overlay, so every arriving
+  // data packet (while up) counts as an overlay life sign, and the overlay
+  // is declared dead when NO sign at all -- data or DC2 control traffic --
+  // has been heard for `data_silence` while some flow is live. Receiver-wide
+  // on purpose: a single finished flow going quiet is normal; total silence
+  // across every concurrent flow is not.
+  bool overlay_carries_data = false;
+  SimDuration data_silence = msec(500);
+  // Probe backoff while down: base, doubling to cap.
+  SimDuration probe_base = msec(200);
+  SimDuration probe_cap = sec(2);
+};
+
 struct ReceiverConfig {
   // DC the receiver recovers through (its nearby DC2); kInvalidNode
   // disables recovery entirely (plain Internet receiver).
@@ -68,6 +102,9 @@ struct ReceiverConfig {
   // O(1)-memory sketches instead (see workload::run_churn).
   bool record_delay_samples = true;
   std::uint64_t rng_seed = 1;
+  // Overlay-death detection; disabled by default (zero events, zero extra
+  // RNG draws, bit-identical traces when off).
+  FailoverParams failover;
 };
 
 // One record per packet the application layer learns about.
@@ -100,6 +137,10 @@ struct ReceiverStats {
   std::uint64_t coop_deferred = 0;      // Answered once the packet arrived.
   std::uint64_t spurious_timeouts = 0;  // Timer fired, nothing was missing.
   std::uint64_t suspected_tail_dropped = 0;  // Timer suspicions never confirmed.
+  std::uint64_t failovers = 0;          // Overlay declared dead.
+  std::uint64_t reengages = 0;          // Overlay declared back up.
+  std::uint64_t probes_sent = 0;        // Backed-off overlay probes.
+  std::uint64_t nacks_suppressed = 0;   // NACKs skipped while the overlay was down.
 };
 
 class Receiver final : public netsim::Node {
@@ -138,6 +179,12 @@ class Receiver final : public netsim::Node {
 
   // Estimated RTT feed (e.g. from the scenario builder's path data).
   void set_rtt_estimate(SimDuration rtt);
+
+  // Overlay up/down transitions (failover layer). The scenario wires this
+  // to the sender's set_overlay_down via a modeled control-channel delay.
+  using OverlayEventFn = std::function<void(bool up, SimTime at)>;
+  void set_overlay_handler(OverlayEventFn fn) { on_overlay_ = std::move(fn); }
+  bool overlay_up() const { return overlay_up_; }
 
  private:
   struct MissingInfo {
@@ -185,8 +232,18 @@ class Receiver final : public netsim::Node {
   void on_nack_check(const PacketPtr& pkt);
   void on_timer(FlowId flow, std::uint64_t gen);
 
+  // Failover machinery; all no-ops unless config_.failover.enabled.
+  void note_overlay_evidence();
+  void declare_overlay_down();
+  void declare_overlay_up();
+  void arm_probe();
+  void on_probe(std::uint64_t gen);
+  void send_probe();
+  bool any_active_flow() const;
+
   void note_missing(FlowState& fs, FlowId flow, SeqNo from, SeqNo to_exclusive);
-  void send_nack(FlowId flow, FlowState& fs, const std::vector<SeqNo>& missing, bool tail);
+  void send_nack(FlowId flow, FlowState& fs, const std::vector<SeqNo>& missing, bool tail,
+                 bool probe = false);
   void deliver(FlowId flow, SeqNo seq, const PacketPtr& pkt, bool recovered,
                SimTime detected_at);
   void advance_contiguity(FlowState& fs, FlowId flow);
@@ -202,6 +259,18 @@ class Receiver final : public netsim::Node {
   ReceiverConfig config_;
   DeliverFn on_delivery_;
   Rng rng_;
+  // Failover state (see FailoverParams). The probe timer follows the same
+  // generation-guard pattern as the per-flow timers.
+  OverlayEventFn on_overlay_;
+  bool overlay_up_ = true;
+  // Latest overlay life sign: DC2-originated control traffic, or (for
+  // path-switching receivers, while up) any data arrival. -1 = never.
+  SimTime last_overlay_signal_ = -1;
+  int unanswered_nacks_ = 0;
+  bool probe_armed_ = false;
+  netsim::EventId probe_timer_ = 0;
+  std::uint64_t probe_gen_ = 0;
+  SimDuration probe_backoff_ = 0;
   std::unordered_map<FlowId, FlowState> flows_;
   ReceiverStats stats_;
   Samples recovery_delay_ms_;

@@ -49,16 +49,21 @@ SeqNo Sender::transmit(FlowId flow, FlowState& fs, std::vector<std::uint8_t> pay
   base->ecn_capable = fs.policy.ecn_capable;
   base->payload = std::move(payload);
 
-  if (fs.policy.send_direct && fs.policy.receiver != kInvalidNode) {
+  if ((fs.policy.send_direct || overlay_down_) && fs.policy.receiver != kInvalidNode) {
     auto direct = std::make_shared<Packet>(*base);
     direct->service = ServiceType::kNone;
     direct->dst = fs.policy.receiver;
     direct->final_dst = fs.policy.receiver;
     ++stats_.direct_sent;
+    if (!fs.policy.send_direct) ++stats_.failover_direct_sent;
     net_.send(node_id_, direct);
   }
 
-  if (fs.policy.duplicate_to_cloud && fs.policy.dc1 != kInvalidNode) {
+  if (overlay_down_ && fs.policy.duplicate_to_cloud && fs.policy.dc1 != kInvalidNode) {
+    // The overlay is unreachable; feeding it copies would only load the
+    // access link for packets a dead DC will black-hole.
+    ++stats_.cloud_suppressed;
+  } else if (fs.policy.duplicate_to_cloud && fs.policy.dc1 != kInvalidNode) {
     if (fs.policy.duplicate_filter && !fs.policy.duplicate_filter(*base)) {
       ++stats_.filtered;
     } else {

@@ -43,6 +43,8 @@ struct SenderStats {
   std::uint64_t direct_sent = 0;
   std::uint64_t cloud_sent = 0;
   std::uint64_t filtered = 0;  // Packets the filter kept off the cloud path.
+  std::uint64_t failover_direct_sent = 0;  // Direct copies only the failover forced.
+  std::uint64_t cloud_suppressed = 0;      // Cloud copies skipped: overlay down.
 };
 
 class Sender final : public netsim::Node {
@@ -78,6 +80,15 @@ class Sender final : public netsim::Node {
   // knows whether its controller negotiated ECN).
   void set_flow_ecn(FlowId flow, bool on);
 
+  // Sender-wide failover override. While the overlay is reported down,
+  // every flow sends on the direct Internet path (even path-switching flows
+  // whose policy disables it) and no cloud copies are made; clearing the
+  // flag restores each flow's registered policy. Driven by the receiver's
+  // overlay-death detection via an out-of-band control channel the
+  // scenario layer models.
+  void set_overlay_down(bool down) { overlay_down_ = down; }
+  bool overlay_down() const { return overlay_down_; }
+
   const SenderStats& stats() const { return stats_; }
   SeqNo next_seq(FlowId flow) const;
   netsim::Network& network() { return net_; }
@@ -94,6 +105,7 @@ class Sender final : public netsim::Node {
   NodeId node_id_;
   std::unordered_map<FlowId, FlowState> flows_;
   std::function<void(const PacketPtr&)> on_receive_;
+  bool overlay_down_ = false;
   SenderStats stats_;
 };
 

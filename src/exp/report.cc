@@ -57,4 +57,36 @@ void print_claim(const std::string& experiment, const std::string& paper_claim,
               paper_claim.c_str(), measured.c_str());
 }
 
+void print_fault_summary(const std::string& title, const FaultSummary& s) {
+  const bool armed = s.injector.link_downs + s.injector.brownouts +
+                         s.injector.node_crashes + s.injector.skipped_unbound >
+                     0;
+  if (!armed && s.link_fault_drops == 0 && s.dc_fault_dropped == 0 &&
+      s.dc_crashes.empty() && s.failovers == 0 && s.reengages == 0) {
+    return;  // No plan, no faults: keep legacy output unchanged.
+  }
+  Table t({"counter", "value"});
+  auto row = [&t](const char* name, std::uint64_t v) {
+    t.add_row({name, std::to_string(v)});
+  };
+  row("link_fault_drops", s.link_fault_drops);
+  row("dc_fault_dropped", s.dc_fault_dropped);
+  row("dc_crashes_total", s.total_dc_crashes());
+  for (const auto& [site, n] : s.dc_crashes) {
+    t.add_row({"dc_crashes:" + site, std::to_string(n)});
+  }
+  row("failovers", s.failovers);
+  row("reengages", s.reengages);
+  row("probes_sent", s.probes_sent);
+  row("nacks_suppressed", s.nacks_suppressed);
+  row("failover_direct_sent", s.failover_direct_sent);
+  row("cloud_suppressed", s.cloud_suppressed);
+  row("flushes_suppressed", s.flushes_suppressed);
+  row("faults_scheduled_link_down", s.injector.link_downs);
+  row("faults_scheduled_brownout", s.injector.brownouts);
+  row("faults_scheduled_crash", s.injector.node_crashes);
+  row("faults_skipped_unbound", s.injector.skipped_unbound);
+  t.print(title);
+}
+
 }  // namespace jqos::exp

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "exp/scenario.h"
 
 namespace jqos::exp {
 
@@ -34,5 +35,10 @@ class Table {
 // "paper vs measured" one-liner used by EXPERIMENTS.md generation.
 void print_claim(const std::string& experiment, const std::string& paper_claim,
                  const std::string& measured);
+
+// Fault-layer counters as a table: one row per counter plus one per crashed
+// DC site. Prints nothing when the summary is entirely zero, so scenarios
+// without a fault plan keep their existing output byte-identical.
+void print_fault_summary(const std::string& title, const FaultSummary& summary);
 
 }  // namespace jqos::exp

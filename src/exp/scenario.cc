@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <utility>
 
 #include "netsim/latency_model.h"
 
@@ -19,16 +21,95 @@ std::uint64_t path_seed(std::uint64_t scenario_seed, std::size_t global_index) {
 
 }  // namespace
 
+std::uint64_t FaultSummary::total_dc_crashes() const {
+  std::uint64_t total = 0;
+  for (const auto& [site, n] : dc_crashes) total += n;
+  return total;
+}
+
+FaultSummary& FaultSummary::operator+=(const FaultSummary& other) {
+  link_fault_drops += other.link_fault_drops;
+  dc_fault_dropped += other.dc_fault_dropped;
+  for (const auto& [site, n] : other.dc_crashes) {
+    auto& mine = dc_crashes[site];
+    mine = std::max(mine, n);
+  }
+  failovers += other.failovers;
+  reengages += other.reengages;
+  probes_sent += other.probes_sent;
+  nacks_suppressed += other.nacks_suppressed;
+  failover_direct_sent += other.failover_direct_sent;
+  cloud_suppressed += other.cloud_suppressed;
+  flushes_suppressed += other.flushes_suppressed;
+  injector.link_downs += other.injector.link_downs;
+  injector.brownouts += other.injector.brownouts;
+  injector.node_crashes += other.injector.node_crashes;
+  injector.skipped_unbound += other.injector.skipped_unbound;
+  return *this;
+}
+
+void validate_fault_plan(const netsim::FaultPlan& plan,
+                         const std::vector<geo::PathSample>& paths) {
+  std::set<std::string> sites;
+  std::set<std::pair<std::string, std::string>> groups;  // Unordered site pairs.
+  for (const auto& p : paths) {
+    sites.insert(p.dc1.name);
+    sites.insert(p.dc2.name);
+    groups.insert(std::minmax(p.dc1.name, p.dc2.name));
+  }
+  for (const netsim::FaultSpec& spec : plan.specs()) {
+    const std::string& t = spec.target;
+    if (t.rfind("dc:", 0) == 0) {
+      if (sites.count(t.substr(3)) == 0) {
+        throw std::invalid_argument("fault plan: unknown DC target '" + t + "'");
+      }
+    } else if (t.rfind("link:", 0) == 0) {
+      const std::string pair = t.substr(5);
+      const auto sep = pair.find('>');
+      if (sep == std::string::npos) {
+        throw std::invalid_argument("fault plan: malformed link target '" + t +
+                                    "' (want link:<A>><B>)");
+      }
+      const std::string a = pair.substr(0, sep);
+      const std::string b = pair.substr(sep + 1);
+      if (groups.count(std::minmax(a, b)) == 0) {
+        // The link either does not exist or spans two interaction groups:
+        // faulting it could not be replicated consistently across shards.
+        throw std::invalid_argument(
+            "fault plan: link target '" + t +
+            "' is not inside a single (DC1, DC2) interaction group");
+      }
+    } else if (t.rfind("direct:", 0) == 0) {
+      std::size_t idx = 0;
+      try {
+        idx = std::stoul(t.substr(7));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("fault plan: malformed direct target '" + t + "'");
+      }
+      if (idx >= paths.size()) {
+        throw std::invalid_argument("fault plan: direct target '" + t +
+                                    "' exceeds path count");
+      }
+    } else {
+      throw std::invalid_argument("fault plan: unknown target namespace in '" + t + "'");
+    }
+  }
+}
+
 ScenarioShard::ScenarioShard(std::vector<IndexedPath> paths, const WanScenarioParams& params,
                              netsim::EvqBackend backend)
     : params_(params),
       sim_(backend),
       net_(sim_, params.qdisc, Rng::derive(params.seed, "qdisc")),
+      injector_(sim_),
       rng_(params.seed),
       registry_(std::make_shared<services::FlowRegistry>()),
       sessions_(registry_) {
   build_overlay(paths);
   for (auto& path : paths) build_path(std::move(path));
+  // Arm the fault schedule once the whole shard topology is bound; plan
+  // targets living in other shards are skipped (counted skipped_unbound).
+  if (!params_.faults.empty()) injector_.arm(params_.faults);
 }
 
 ScenarioShard::~ScenarioShard() = default;
@@ -63,6 +144,33 @@ void ScenarioShard::build_overlay(const std::vector<IndexedPath>& paths) {
         std::make_shared<services::RecoveryService>(dc, params_.recovery, registry_);
     recoverers_.push_back(recovery);
     dc.install(recovery);
+  }
+
+  if (params_.faults.empty()) return;
+  // Bind the plan's symbolic overlay targets. Only done for non-empty plans
+  // so the default path stays byte-for-byte untouched.
+  for (std::size_t i = 0; i < overlay_->dc_count(); ++i) {
+    overlay::DataCenter& dc = overlay_->dc(i);
+    injector_.bind_node("dc:" + dc.name(), &dc);
+    for (std::size_t j = 0; j < overlay_->dc_count(); ++j) {
+      if (i == j) continue;
+      overlay::DataCenter& peer = overlay_->dc(j);
+      netsim::Link* l = net_.link(dc.id(), peer.id());
+      if (l != nullptr) {
+        injector_.bind_link("link:" + dc.name() + ">" + peer.name(), l);
+      }
+    }
+  }
+  // Let encoders see peer-DC liveness: a flush toward a crashed DC2 is
+  // suppressed and retried with backoff instead of feeding a black hole.
+  overlay::OverlayNetwork* ov = overlay_.get();
+  for (auto& enc : encoders_) {
+    enc->set_peer_health([ov](NodeId dc2) {
+      for (std::size_t i = 0; i < ov->dc_count(); ++i) {
+        if (ov->dc(i).id() == dc2) return !ov->dc(i).down();
+      }
+      return true;  // Not a DC we know; assume reachable.
+    });
   }
 }
 
@@ -107,6 +215,10 @@ void ScenarioShard::build_path(IndexedPath path) {
   rc.buffer_packets = params_.receiver_buffer_packets;
   rc.record_delay_samples = params_.record_delay_samples;
   rc.rng_seed = Rng::derive(pseed, "receiver-coop");
+  rc.failover = params_.failover;
+  // Path-switching flows have no direct copies: overlay death shows up as
+  // outright data silence, so that detector is implied.
+  if (!params_.send_direct) rc.failover.overlay_carries_data = true;
   PathRuntime* rt_raw = rt.get();
   rt->receiver = std::make_unique<endpoint::Receiver>(
       net_, rc, [rt_raw](const endpoint::DeliveryRecord& rec, const PacketPtr&) {
@@ -145,6 +257,18 @@ void ScenarioShard::build_path(IndexedPath path) {
         }
       });
 
+  if (params_.failover.enabled) {
+    // Overlay up/down notifications reach the sender over a control channel
+    // modeled as half the path RTT (receiver -> sender one-way).
+    endpoint::Sender* snd = rt->sender.get();
+    netsim::Simulator* simp = &sim_;
+    const SimDuration ctrl = msec_f(rt->rtt_ms / 2.0);
+    rt->receiver->set_overlay_handler([snd, simp, ctrl, rt_raw](bool up, SimTime at) {
+      rt_raw->failover_events.push_back(FailoverEvent{at, up});
+      simp->after(ctrl, [snd, up] { snd->set_overlay_down(!up); });
+    });
+  }
+
   // --- links ---
   // Direct Internet path with the configured loss mix, scaled by a
   // per-path severity factor (paths span orders of magnitude in loss rate).
@@ -181,9 +305,13 @@ void ScenarioShard::build_path(IndexedPath path) {
   jp.jitter_sigma = params_.direct.jitter_sigma;
   jp.jitter_scale_ms = params_.direct.jitter_scale_ms;
   jp.spike_prob = params_.direct.spike_prob;
-  net_.add_link(rt->sender->id(), rt->receiver->id(),
-                netsim::make_jitter_latency(jp, path_rng.fork("direct-lat")),
-                std::move(loss));
+  netsim::Link& direct_link =
+      net_.add_link(rt->sender->id(), rt->receiver->id(),
+                    netsim::make_jitter_latency(jp, path_rng.fork("direct-lat")),
+                    std::move(loss));
+  if (!params_.faults.empty()) {
+    injector_.bind_link("direct:" + std::to_string(rt->global_index), &direct_link);
+  }
 
   // Access links to the nearby DCs, drawn from path-keyed streams so attach
   // order across paths cannot shift them.
@@ -203,6 +331,7 @@ void ScenarioShard::build_path(IndexedPath path) {
   // --- J-QoS registration ---
   endpoint::RegisterRequest req;
   req.force_service = params_.service;
+  req.send_direct = params_.send_direct;
   req.dc1 = rt->dc1->id();
   req.dc2 = rt->dc2->id();
   req.delays.y_ms = sample.y_ms;
@@ -223,6 +352,7 @@ FlowId ScenarioShard::open_session(std::size_t path_index) {
   PathRuntime& rt = *paths_.at(path_index);
   endpoint::RegisterRequest req;
   req.force_service = params_.service;
+  req.send_direct = params_.send_direct;
   req.dc1 = rt.dc1->id();
   req.dc2 = rt.dc2->id();
   req.delays.y_ms = rt.path.y_ms;
@@ -305,7 +435,32 @@ services::RecoveryStatsDc ScenarioShard::recovery_totals() const {
   return total;
 }
 
+FaultSummary ScenarioShard::fault_summary() const {
+  FaultSummary s;
+  net_.for_each_link(
+      [&s](const netsim::Link& l) { s.link_fault_drops += l.stats().fault_drops; });
+  for (std::size_t i = 0; i < overlay_->dc_count(); ++i) {
+    const overlay::DataCenter& dc = overlay_->dc(i);
+    s.dc_fault_dropped += dc.fault_dropped_packets();
+    if (dc.crashes() > 0) s.dc_crashes[dc.name()] = dc.crashes();
+  }
+  for (const auto& rt : paths_) {
+    const endpoint::ReceiverStats& r = rt->receiver->stats();
+    s.failovers += r.failovers;
+    s.reengages += r.reengages;
+    s.probes_sent += r.probes_sent;
+    s.nacks_suppressed += r.nacks_suppressed;
+    const endpoint::SenderStats& snd = rt->sender->stats();
+    s.failover_direct_sent += snd.failover_direct_sent;
+    s.cloud_suppressed += snd.cloud_suppressed;
+  }
+  s.flushes_suppressed = encoder_totals().flushes_suppressed;
+  s.injector = injector_.stats();
+  return s;
+}
+
 WanScenario::WanScenario(std::vector<geo::PathSample> paths, const WanScenarioParams& params) {
+  if (!params.faults.empty()) validate_fault_plan(params.faults, paths);
   std::vector<IndexedPath> indexed;
   indexed.reserve(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {

@@ -19,13 +19,16 @@
 // in one shard, with the pre-sharding public API intact.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "endpoint/receiver.h"
 #include "endpoint/sender.h"
 #include "endpoint/session.h"
 #include "geo/path_dataset.h"
+#include "netsim/faults.h"
 #include "netsim/loss_model.h"
 #include "netsim/network.h"
 #include "overlay/overlay_network.h"
@@ -97,7 +100,59 @@ struct WanScenarioParams {
   // by finite-bandwidth links (the default WAN topology is latency-only, so
   // the default config leaves every trace bit-identical).
   netsim::QdiscConfig qdisc;
+  // Send on the direct Internet path (false = path switching: every data
+  // packet rides the overlay via the forwarding service, Fig. 2(b)).
+  bool send_direct = true;
+  // Overlay-death detection at the receivers (see endpoint::FailoverParams).
+  // When enabled, each path's receiver drives its sender's direct-path
+  // override through a control channel modeled as an RTT/2 delay, and
+  // transitions are recorded in PathRuntime::failover_events. Disabled by
+  // default: zero events, zero extra draws, bit-identical traces.
+  endpoint::FailoverParams failover;
+  // Declarative fault schedule, armed before the workload starts. Symbolic
+  // targets: "dc:<site>" (DataCenter crash/restart), "link:<A>><B>" (the
+  // directed inter-DC link), "direct:<global_index>" (a path's direct
+  // Internet link). Validate with validate_fault_plan() before running a
+  // multi-shard scenario; every shard arms the same plan and skips targets
+  // it does not own, so replicated entities fault at the same instant.
+  netsim::FaultPlan faults;
 };
+
+// One overlay up/down transition observed by a path's receiver.
+struct FailoverEvent {
+  SimTime at = 0;
+  bool up = false;
+};
+
+// Fault-layer counters aggregated over one shard (or merged over all of
+// them). dc_crashes is keyed by site name so the merge can deduplicate
+// DC replicas that crash in several shards at once.
+struct FaultSummary {
+  std::uint64_t link_fault_drops = 0;   // Packets dropped by down/degraded links.
+  std::uint64_t dc_fault_dropped = 0;   // Packets black-holed by crashed DCs.
+  std::map<std::string, std::uint64_t> dc_crashes;  // Site -> crash count.
+  std::uint64_t failovers = 0;          // Receivers declaring the overlay dead.
+  std::uint64_t reengages = 0;          // Receivers re-engaging the overlay.
+  std::uint64_t probes_sent = 0;
+  std::uint64_t nacks_suppressed = 0;
+  std::uint64_t failover_direct_sent = 0;  // Direct copies forced by failover.
+  std::uint64_t cloud_suppressed = 0;      // Cloud copies skipped while down.
+  std::uint64_t flushes_suppressed = 0;    // Encoder flushes toward dead DCs.
+  netsim::FaultInjectorStats injector;
+
+  std::uint64_t total_dc_crashes() const;
+  // Sums counters; dc_crashes merges by per-site max, because every shard
+  // replica of a DC crashes identically under the shared plan.
+  FaultSummary& operator+=(const FaultSummary& other);
+};
+
+// Rejects plans that name unknown targets or faults crossing a shard
+// boundary: a "link:<A>><B>" target is only valid when some path has
+// exactly {A, B} as its (DC1, DC2) pair, i.e. the link belongs to one
+// interaction group. Throws std::invalid_argument with the offending
+// target. Call before constructing a scenario/runner with a non-empty plan.
+void validate_fault_plan(const netsim::FaultPlan& plan,
+                         const std::vector<geo::PathSample>& paths);
 
 // Everything belonging to one wide-area path in the running scenario.
 struct PathRuntime {
@@ -123,6 +178,8 @@ struct PathRuntime {
   std::uint64_t delivered_direct = 0;
   std::uint64_t recovered = 0;
   std::uint64_t lost = 0;
+  // Overlay up/down transitions, in occurrence order (failover enabled only).
+  std::vector<FailoverEvent> failover_events;
 
   std::uint64_t direct_losses() const { return recovered + lost; }
   double recovery_success() const {
@@ -192,6 +249,10 @@ class ScenarioShard {
   services::EncoderStats encoder_totals() const;
   services::RecoveryStatsDc recovery_totals() const;
 
+  // Fault-layer counters for this shard (links, DCs, endpoints, injector).
+  FaultSummary fault_summary() const;
+  netsim::FaultInjector& injector() { return injector_; }
+
  private:
   void build_overlay(const std::vector<IndexedPath>& paths);
   void build_path(IndexedPath path);
@@ -199,6 +260,7 @@ class ScenarioShard {
   WanScenarioParams params_;
   netsim::Simulator sim_;
   netsim::Network net_;
+  netsim::FaultInjector injector_;
   Rng rng_;  // Overlay construction only; per-path streams are derived.
   services::FlowRegistryPtr registry_;
   std::unique_ptr<overlay::OverlayNetwork> overlay_;
@@ -234,6 +296,7 @@ class WanScenario {
   // Aggregate encoder/recovery statistics summed across DCs.
   services::EncoderStats encoder_totals() const { return shard_->encoder_totals(); }
   services::RecoveryStatsDc recovery_totals() const { return shard_->recovery_totals(); }
+  FaultSummary fault_summary() const { return shard_->fault_summary(); }
 
  private:
   std::unique_ptr<ScenarioShard> shard_;

@@ -77,6 +77,7 @@ ShardedRunner::ShardedRunner(std::vector<geo::PathSample> paths,
       run_params_(run_params),
       backend_(netsim::evq_default_backend()),
       total_paths_(paths.size()) {
+  if (!params_.faults.empty()) validate_fault_plan(params_.faults, paths);
   plans_ = plan_shards(paths, run_params_.num_shards);
 }
 
@@ -127,6 +128,12 @@ services::EncoderStats ShardedRunner::encoder_totals() const {
 services::RecoveryStatsDc ShardedRunner::recovery_totals() const {
   services::RecoveryStatsDc total;
   for (const auto& shard : shards_) total += shard->recovery_totals();
+  return total;
+}
+
+FaultSummary ShardedRunner::fault_summary() const {
+  FaultSummary total;
+  for (const auto& shard : shards_) total += shard->fault_summary();
   return total;
 }
 

@@ -73,6 +73,11 @@ class ShardedRunner {
   services::EncoderStats encoder_totals() const;
   services::RecoveryStatsDc recovery_totals() const;
 
+  // Fault counters merged over all shards. DC crash counts deduplicate by
+  // site (replicated DCs crash identically in every owning shard); traffic
+  // counters sum, since only the owning shard's replica carries traffic.
+  FaultSummary fault_summary() const;
+
   std::size_t shard_count() const { return plans_.size(); }
   ScenarioShard& shard(std::size_t i) { return *shards_.at(i); }
   unsigned threads_used() const { return threads_used_; }

@@ -27,6 +27,15 @@ SimTime Link::admit(const PacketPtr& pkt, bool& mark) {
   ++stats_.offered_packets;
   stats_.offered_bytes += bytes;
 
+  if (fault_down_) {
+    ++stats_.fault_drops;
+    return -1;
+  }
+  if (degraded_ && degraded_rng_.bernoulli(degraded_loss_)) {
+    ++stats_.fault_drops;
+    return -1;
+  }
+
   if (loss_->should_drop(sim_.now())) {
     ++stats_.dropped_packets;
     return -1;
@@ -72,6 +81,7 @@ SimTime Link::admit(const PacketPtr& pkt, bool& mark) {
   }
 
   SimTime arrive = depart + latency_->sample(sim_.now());
+  if (degraded_) arrive += degraded_latency_;
   if (preserve_order_) {
     arrive = std::max(arrive, last_arrival_);
     last_arrival_ = arrive;

@@ -30,6 +30,7 @@ struct LinkStats {
   std::uint64_t offered_packets = 0;
   std::uint64_t dropped_packets = 0;    // Loss-model drops (the "wire").
   std::uint64_t queue_drops = 0;        // Queue-disc drops (buffer full / AQM early).
+  std::uint64_t fault_drops = 0;        // Fault-layer drops (link down / brownout).
   std::uint64_t ecn_marked = 0;         // Delivered with a fresh CE mark.
   std::uint64_t delivered_packets = 0;
   std::uint64_t offered_bytes = 0;
@@ -85,6 +86,23 @@ class Link {
   SimDuration base_latency() const { return latency_->base(); }
   const QueueDisc* qdisc() const { return qdisc_.get(); }
 
+  // Fault-layer controls (driven by netsim::FaultInjector). A downed link
+  // drops every offered packet; a degraded (brownout) link adds a Bernoulli
+  // drop probability and extra propagation latency on top of its configured
+  // models. Both count into LinkStats.fault_drops, separate from loss-model
+  // and queue-disc drops. The degradation Rng draws only while degraded, so
+  // an un-faulted link's trace is byte-identical to a build without faults.
+  void set_fault_down(bool down) { fault_down_ = down; }
+  bool fault_down() const { return fault_down_; }
+  void set_degraded(double extra_loss, SimDuration extra_latency, Rng rng) {
+    degraded_ = true;
+    degraded_loss_ = extra_loss;
+    degraded_latency_ = extra_latency;
+    degraded_rng_ = rng;
+  }
+  void clear_degraded() { degraded_ = false; }
+  bool degraded() const { return degraded_; }
+
  private:
   Simulator& sim_;
   NodeId from_;
@@ -107,6 +125,12 @@ class Link {
   // Registered delivery sink for the zero-argument send().
   DeliverFn deliver_;
   LinkStats stats_;
+  // Fault-layer state; see set_fault_down()/set_degraded().
+  bool fault_down_ = false;
+  bool degraded_ = false;
+  double degraded_loss_ = 0.0;
+  SimDuration degraded_latency_ = 0;
+  Rng degraded_rng_{0};
 
   // Computes the arrival time for a packet offered now, or -1 if the loss
   // process or the queue discipline drops it; sets `mark` when the

@@ -57,6 +57,17 @@ class GoogleBurst final : public LossModel {
   bool in_burst_ = false;
 };
 
+// One draw of the outage process: the window following `from`. Shared by
+// the lazy OutageOver model and the eager outage_windows() materializer so
+// the two can never disagree about the schedule.
+static OutageWindow draw_outage(const OutageParams& params, Rng& rng, SimTime from) {
+  const double gap = rng.exponential(static_cast<double>(params.mean_interval));
+  const SimTime start = from + static_cast<SimDuration>(gap);
+  const SimTime end =
+      start + rng.uniform_int(params.min_len, std::max(params.min_len, params.max_len));
+  return {start, end};
+}
+
 class OutageOver final : public LossModel {
  public:
   OutageOver(LossModelPtr inner, const OutageParams& params, Rng rng)
@@ -76,10 +87,9 @@ class OutageOver final : public LossModel {
 
  private:
   void schedule_next(SimTime from) {
-    const double gap = rng_.exponential(static_cast<double>(params_.mean_interval));
-    next_start_ = from + static_cast<SimDuration>(gap);
-    next_end_ = next_start_ +
-                rng_.uniform_int(params_.min_len, std::max(params_.min_len, params_.max_len));
+    const OutageWindow w = draw_outage(params_, rng_, from);
+    next_start_ = w.start;
+    next_end_ = w.end;
   }
 
   LossModelPtr inner_;
@@ -128,6 +138,18 @@ LossModelPtr make_google_burst(double p_first, double p_subsequent, Rng rng) {
 
 LossModelPtr make_outage_over(LossModelPtr inner, const OutageParams& params, Rng rng) {
   return std::make_unique<OutageOver>(std::move(inner), params, rng);
+}
+
+std::vector<OutageWindow> outage_windows(const OutageParams& params, Rng rng, SimTime horizon) {
+  std::vector<OutageWindow> out;
+  SimTime from = kSimStart;
+  while (true) {
+    const OutageWindow w = draw_outage(params, rng, from);
+    if (w.start >= horizon) break;
+    out.push_back(w);
+    from = w.end;
+  }
+  return out;
 }
 
 LossModelPtr make_scheduled_outages(LossModelPtr inner, std::vector<OutageWindow> windows) {

@@ -67,6 +67,13 @@ struct OutageWindow {
   SimTime start;
   SimTime end;
 };
+
+// The exact start/duration schedule make_outage_over(params, rng) would
+// realize over [kSimStart, horizon): same draw order, same stream. Exposed
+// so tests can pin outage windows deterministically and so the fault layer
+// (FaultPlan::link_flaps) can materialize the identical process as explicit
+// fault windows. A window straddling the horizon is included whole.
+std::vector<OutageWindow> outage_windows(const OutageParams& params, Rng rng, SimTime horizon);
 LossModelPtr make_scheduled_outages(LossModelPtr inner, std::vector<OutageWindow> windows);
 
 }  // namespace jqos::netsim

@@ -64,6 +64,14 @@ class Network {
   Link* link(NodeId from, NodeId to);
   const Link* link(NodeId from, NodeId to) const;
 
+  // Visits every installed link (deterministic (from, to) order); used by
+  // the experiment harness to aggregate per-link counters such as
+  // fault_drops without enumerating the topology itself.
+  template <typename Fn>
+  void for_each_link(Fn&& fn) const {
+    for (const auto& [key, l] : links_) fn(*l);
+  }
+
   std::uint64_t routing_failures() const { return routing_failures_; }
 
  private:

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/packet.h"
+#include "netsim/faults.h"
 #include "netsim/network.h"
 
 namespace jqos::overlay {
@@ -29,9 +30,16 @@ class DcService {
 
   // Returns true if the packet was consumed by this service.
   virtual bool handle(DataCenter& dc, const PacketPtr& pkt) = 0;
+
+  // Fault-layer hooks. on_dc_crash must drop all soft state (stored batches,
+  // pending ops, armed timers -- anything a process restart would lose);
+  // on_dc_restart runs when the DC comes back cold. Cumulative counters are
+  // NOT state: crash wipes what a restart would rebuild, not the books.
+  virtual void on_dc_crash() {}
+  virtual void on_dc_restart() {}
 };
 
-class DataCenter final : public netsim::Node {
+class DataCenter final : public netsim::Node, public netsim::FaultableNode {
  public:
   DataCenter(netsim::Network& net, DcId dc_id, std::string name);
 
@@ -45,6 +53,15 @@ class DataCenter final : public netsim::Node {
   void send(const PacketPtr& pkt);
 
   void handle_packet(const PacketPtr& pkt) override;
+
+  // FaultableNode: a crash takes the DC down (arriving and departing packets
+  // are black-holed and counted) and tells every installed service to wipe
+  // its soft state; restart brings the node back cold.
+  void fault_crash() override;
+  void fault_restart() override;
+  bool down() const { return down_; }
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t fault_dropped_packets() const { return fault_dropped_packets_; }
 
   netsim::Network& network() { return net_; }
   SimTime now() const { return net_.sim().now(); }
@@ -64,6 +81,9 @@ class DataCenter final : public netsim::Node {
   std::uint64_t egress_bytes_ = 0;
   std::uint64_t egress_packets_ = 0;
   std::uint64_t unhandled_packets_ = 0;
+  bool down_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t fault_dropped_packets_ = 0;
 };
 
 }  // namespace jqos::overlay

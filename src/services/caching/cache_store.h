@@ -39,6 +39,14 @@ class CacheStore {
   // reclaimed. Called opportunistically by the owning service.
   std::size_t sweep(SimTime now);
 
+  // Drops everything (DC crash: the cache restarts cold). Cumulative stats
+  // survive -- they are books, not state.
+  void clear() {
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+  }
+
   std::size_t size() const { return entries_.size(); }
   std::uint64_t bytes() const { return bytes_; }
   const CacheStats& stats() const { return stats_; }

@@ -23,6 +23,7 @@ struct CachingServiceStats {
   std::uint64_t pull_hits = 0;
   std::uint64_t pull_misses = 0;
   std::uint64_t nack_recoveries = 0;
+  std::uint64_t crash_wipes = 0;  // DC crashes that emptied the store.
 };
 
 class CachingService final : public overlay::DcService {
@@ -35,6 +36,14 @@ class CachingService final : public overlay::DcService {
   const char* name() const override { return "caching"; }
 
   bool handle(overlay::DataCenter& dc, const PacketPtr& pkt) override;
+
+  // Fault layer: the cache restarts cold -- every stored packet is gone and
+  // later pulls for pre-crash traffic miss (the receiver's NACK path then
+  // falls back to the sender's direct copy).
+  void on_dc_crash() override {
+    ++service_stats_.crash_wipes;
+    store_.clear();
+  }
 
   const CachingServiceStats& stats() const { return service_stats_; }
   const CacheStore& store() const { return store_; }

@@ -94,9 +94,44 @@ void CodingEncoderService::enqueue_cross_stream(const PacketPtr& pkt, NodeId dc2
   }
 }
 
+bool CodingEncoderService::peer_sendable(NodeId dc2) {
+  if (!peer_health_) return true;
+  PeerState& peer = peers_[dc2];
+  if (!peer.suspended) {
+    if (peer_health_(dc2)) return true;
+    // First flush to find the DC dead: suspend and start the backoff clock.
+    peer.suspended = true;
+    peer.backoff = params_.peer_backoff_base;
+    peer.retry_at = dc_.now() + peer.backoff;
+    ++stats_.peer_suspends;
+    return false;
+  }
+  if (dc_.now() < peer.retry_at) return false;  // Still backing off.
+  // Probe flush: one batch gets through the gate to test the peer. A healthy
+  // answer re-engages immediately; a dead one doubles the backoff (capped).
+  ++stats_.peer_probes;
+  if (peer_health_(dc2)) {
+    peer.suspended = false;
+    peer.backoff = 0;
+    ++stats_.peer_reengages;
+    return true;
+  }
+  peer.backoff = std::min(peer.backoff * 2, params_.peer_backoff_cap);
+  peer.retry_at = dc_.now() + peer.backoff;
+  return false;
+}
+
 void CodingEncoderService::encode_queue(Queue& q, std::size_t coded, PacketType type,
                                         NodeId dc2) {
   if (q.pkts.empty() || dc2 == kInvalidNode) {
+    q.pkts.clear();
+    disarm(q);
+    return;
+  }
+  if (!peer_sendable(dc2)) {
+    // The staged packets still reached their receivers on the direct path;
+    // only the coded protection is lost while DC2 is out.
+    ++stats_.flushes_suppressed;
     q.pkts.clear();
     disarm(q);
     return;
@@ -189,6 +224,24 @@ void CodingEncoderService::flow_departed(FlowId flow, NodeId dc2) {
     grp->second.erase(flow);
     if (grp->second.empty()) group_flows_.erase(grp);
   }
+}
+
+void CodingEncoderService::on_dc_crash() {
+  ++stats_.crash_wipes;
+  // Everything staged in process memory is gone. disarm() bumps each
+  // queue's generation so timers armed before the crash are no-ops.
+  for (auto& [flow, q] : in_qs_) disarm(q);
+  in_qs_.clear();
+  for (auto& [dc2, queues] : cross_qs_) {
+    for (Queue& q : queues) disarm(q);
+  }
+  cross_qs_.clear();
+  rr_cursor_.clear();
+  group_flows_.clear();
+  // A restarted process has no memory of suspended peers either.
+  peers_.clear();
+  // next_batch_id_ deliberately survives: it models the id namespace, not
+  // state -- reusing ids would alias live batches at the recovery DC.
 }
 
 void CodingEncoderService::flush_all() {

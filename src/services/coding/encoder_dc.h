@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -31,6 +32,11 @@ struct EncoderStats {
   std::uint64_t full_scan_flushes = 0;        // Algorithm 1 lines 13-16.
   std::uint64_t unknown_flow = 0;
   std::uint64_t flow_departures = 0;          // Sessions torn down (churn).
+  std::uint64_t flushes_suppressed = 0;       // Batches dropped: dead/suspended DC2.
+  std::uint64_t peer_suspends = 0;            // DC2 newly marked dead.
+  std::uint64_t peer_probes = 0;              // Backed-off retry flushes attempted.
+  std::uint64_t peer_reengages = 0;           // DC2 observed healthy again.
+  std::uint64_t crash_wipes = 0;              // DC1 crashes that wiped encoder state.
 
   // The one merge definition every totals path (per-shard and cross-shard)
   // uses; a new field added here is summed everywhere or nowhere.
@@ -44,6 +50,11 @@ struct EncoderStats {
     full_scan_flushes += o.full_scan_flushes;
     unknown_flow += o.unknown_flow;
     flow_departures += o.flow_departures;
+    flushes_suppressed += o.flushes_suppressed;
+    peer_suspends += o.peer_suspends;
+    peer_probes += o.peer_probes;
+    peer_reengages += o.peer_reengages;
+    crash_wipes += o.crash_wipes;
     return *this;
   }
 };
@@ -82,6 +93,24 @@ class CodingEncoderService final : public overlay::DcService {
   const EncoderStats& stats() const { return stats_; }
   const CodingParams& params() const { return params_; }
 
+  // Health oracle for destination DCs (the real system learns this from its
+  // control channel). When set, a flush toward a DC reported dead is dropped
+  // instead of shipped, and the encoder backs off exponentially before
+  // probing that DC with another flush attempt. Never invoked for healthy
+  // steady state beyond one boolean check per batch, and the suspension
+  // machinery schedules no simulator events -- it is driven entirely by
+  // arriving traffic, so an all-healthy run is bit-identical with or
+  // without the oracle installed.
+  void set_peer_health(std::function<bool(NodeId)> oracle) {
+    peer_health_ = std::move(oracle);
+  }
+
+  // Fault layer: a DC1 crash loses every staged queue (the packets were in
+  // process memory), the round-robin cursors, and the group membership; the
+  // batch-id counter survives conceptually as a new process instance never
+  // reuses ids (monotonic namespace per DC).
+  void on_dc_crash() override;
+
  private:
   struct Queue {
     std::vector<PacketPtr> pkts;
@@ -103,6 +132,10 @@ class CodingEncoderService final : public overlay::DcService {
   void arm_timer_in(FlowId flow);
   void arm_timer_cross(NodeId dc2, std::size_t index);
   void disarm(Queue& q);
+
+  // True when a batch toward dc2 should be shipped now; false drops it
+  // (suppressed flush) and advances the suspension/backoff state machine.
+  bool peer_sendable(NodeId dc2);
 
   bool queue_contains_flow(const Queue& q, FlowId flow) const;
 
@@ -127,6 +160,17 @@ class CodingEncoderService final : public overlay::DcService {
   // batch), so the effective batch size adapts to the group population --
   // the "pick a further subset of flows" step of Section 4.1.
   std::map<NodeId, std::set<FlowId>> group_flows_;
+
+  // Lazy (event-free) suspension state per destination DC; see
+  // peer_sendable(). retry_at is the earliest time the next flush attempt
+  // toward a suspended DC will actually probe it.
+  struct PeerState {
+    bool suspended = false;
+    SimTime retry_at = 0;
+    SimDuration backoff = 0;
+  };
+  std::function<bool(NodeId)> peer_health_;
+  std::map<NodeId, PeerState> peers_;
 
   EncoderStats stats_;
 };

@@ -258,7 +258,8 @@ bool RecoveryService::start_coop(const PacketKey& key, NodeId receiver) {
   }
 
   op.deadline_event = dc_.network().sim().after(
-      params_.coop_deadline, [this, batch_id] { finish_op_failure(batch_id); });
+      params_.coop_deadline,
+      [this, batch_id, epoch = epoch_] { finish_op_failure(batch_id, epoch); });
   // Small or coded-rich batches may be decodable with zero responses (the
   // stored coded packets alone suffice); finish immediately in that case.
   maybe_finish_op(op);
@@ -325,7 +326,13 @@ void RecoveryService::maybe_finish_op(CoopOp& op) {
   ops_.erase(finished_id);
 }
 
-void RecoveryService::finish_op_failure(std::uint32_t batch_id) {
+void RecoveryService::finish_op_failure(std::uint32_t batch_id, std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    // Armed before a crash wipe: the op it referred to is gone, and batch_id
+    // may even have been reused by a post-restart op. Counted no-op.
+    ++stats_.stale_timers;
+    return;
+  }
   auto it = ops_.find(batch_id);
   if (it == ops_.end()) return;
   ++stats_.coop_deadline_failures;
@@ -348,11 +355,31 @@ void RecoveryService::arm_sweep() {
   // reclamation timing -- and the batches_expired counter -- a pure function
   // of store times, independent of unrelated traffic sharing this DC.
   const SimTime next_tick = (dc_.now() / sec(1) + 1) * sec(1);
-  dc_.network().sim().at(next_tick, [this] {
+  sweep_event_ = dc_.network().sim().at(next_tick, [this, epoch = epoch_] {
+    if (epoch != epoch_) {
+      // Armed before a crash wipe (which also cancels; this guards the race
+      // where the sweep fires at the same instant the cancel lands).
+      ++stats_.stale_timers;
+      return;
+    }
     sweep_armed_ = false;
     sweep_batches();
     if (!batches_.empty() || !pending_.empty()) arm_sweep();
   });
+}
+
+void RecoveryService::on_dc_crash() {
+  ++stats_.crash_wipes;
+  ++epoch_;  // Every timer armed before this instant is now stale.
+  for (auto& [id, op] : ops_) dc_.network().sim().cancel(op.deadline_event);
+  ops_.clear();
+  batches_.clear();
+  key_index_.clear();
+  pending_.clear();
+  if (sweep_armed_) {
+    dc_.network().sim().cancel(sweep_event_);
+    sweep_armed_ = false;
+  }
 }
 
 void RecoveryService::sweep_batches() {

@@ -63,6 +63,8 @@ struct RecoveryStatsDc {
   std::uint64_t batches_stored = 0;
   std::uint64_t batches_expired = 0;
   std::uint64_t recheck_probes = 0;  // Coverage arrived for a pending NACK.
+  std::uint64_t crash_wipes = 0;     // DC crashes that wiped recovery state.
+  std::uint64_t stale_timers = 0;    // Pre-crash timers neutered by the epoch guard.
 
   // The one merge definition every totals path (per-shard and cross-shard)
   // uses; a new field added here is summed everywhere or nowhere.
@@ -83,6 +85,8 @@ struct RecoveryStatsDc {
     batches_stored += o.batches_stored;
     batches_expired += o.batches_expired;
     recheck_probes += o.recheck_probes;
+    crash_wipes += o.crash_wipes;
+    stale_timers += o.stale_timers;
     return *this;
   }
 };
@@ -96,10 +100,25 @@ class RecoveryService final : public overlay::DcService {
 
   bool handle(overlay::DataCenter& dc, const PacketPtr& pkt) override;
 
+  // Fault layer: a crash loses everything a process restart would lose --
+  // stored batches, the key index, in-flight cooperative ops (their deadline
+  // timers are cancelled AND epoch-guarded), pending NACKs, and the sweep
+  // timer. The service then rebuilds from newly arriving coded packets;
+  // receivers re-NACK on their own timers.
+  void on_dc_crash() override;
+
   const RecoveryStatsDc& stats() const { return stats_; }
 
   // Number of coded batches currently held.
   std::size_t batches_held() const { return batches_.size(); }
+
+  // Test hook (stale-timer regression): invokes the coop-deadline callback
+  // exactly as a timer armed in epoch `epoch` would -- a stale epoch must be
+  // a counted no-op even when batch_id has been reused since.
+  void debug_fire_deadline(std::uint32_t batch_id, std::uint64_t epoch) {
+    finish_op_failure(batch_id, epoch);
+  }
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   struct BatchState {
@@ -142,7 +161,10 @@ class RecoveryService final : public overlay::DcService {
   bool start_coop(const PacketKey& key, NodeId receiver);
 
   void maybe_finish_op(CoopOp& op);
-  void finish_op_failure(std::uint32_t batch_id);
+  // Deadline callback. `epoch` is the service epoch the timer was armed in;
+  // a timer scheduled before a crash wipe finds epoch != epoch_ and is a
+  // counted no-op (the Receiver::forget_flow generation-guard pattern).
+  void finish_op_failure(std::uint32_t batch_id, std::uint64_t epoch);
 
   // Reclaims expired batches / pending NACKs. Freshness is enforced lazily
   // at lookup time (batch_fresh), so the sweep only frees memory and bumps
@@ -172,6 +194,10 @@ class RecoveryService final : public overlay::DcService {
   std::unordered_map<std::uint32_t, CoopOp> ops_;
   std::unordered_map<PacketKey, PendingNack> pending_;
   bool sweep_armed_ = false;
+  netsim::EventId sweep_event_ = 0;
+  // Bumped on every crash wipe; every deadline timer carries the epoch it
+  // was armed in so stale ones are no-ops.
+  std::uint64_t epoch_ = 0;
 
   // Scratch for the zero-copy decode path (see fec::decode_batch's arena
   // overload): grows to the largest batch shape once, then every decode

@@ -46,6 +46,9 @@ class ChurnShardEngine {
         completion_ms(cfg.sketch_k),
         delivered_pct(cfg.sketch_k),
         recovery_ms(cfg.sketch_k),
+        completion_in_fault_ms(cfg.sketch_k),
+        completion_clear_ms(cfg.sketch_k),
+        fault_windows_(cfg.scenario.faults.windows()),
         send_gap_(std::max<SimDuration>(1, sec_f(1.0 / cfg.packets_per_second))) {
     // The build-time long-lived flows are the figure scenarios' workload,
     // not ours: tear them down so the shard starts with zero registered
@@ -96,6 +99,8 @@ class ChurnShardEngine {
   QuantileSketch completion_ms;
   QuantileSketch delivered_pct;
   QuantileSketch recovery_ms;
+  QuantileSketch completion_in_fault_ms;
+  QuantileSketch completion_clear_ms;
 
  private:
   void schedule_arrival(std::size_t path_index) {
@@ -207,9 +212,27 @@ class ChurnShardEngine {
     totals.recovered += s.recovered;
     totals.lost += s.lost;
     ++totals.sessions_completed;
-    completion_ms.add(s.last_delivery > 0 ? to_ms(s.last_delivery - s.opened_at) : 0.0);
-    delivered_pct.add(100.0 * static_cast<double>(s.direct + s.recovered) /
-                      static_cast<double>(s.total));
+    const double completion =
+        s.last_delivery > 0 ? to_ms(s.last_delivery - s.opened_at) : 0.0;
+    const double pct = 100.0 * static_cast<double>(s.direct + s.recovered) /
+                       static_cast<double>(s.total);
+    completion_ms.add(completion);
+    delivered_pct.add(pct);
+    if (pct >= cfg_.success_delivered_pct) ++totals.sessions_succeeded;
+    if (!fault_windows_.empty()) {
+      // A session is "in fault" when its lifetime overlapped any window of
+      // the plan, regardless of which entity the fault hit: the split is a
+      // coarse blast-radius lens, not a causal attribution.
+      const SimTime closed = shard_.sim().now();
+      bool in_fault = false;
+      for (const netsim::OutageWindow& w : fault_windows_) {
+        if (s.opened_at < w.end && closed > w.start) {
+          in_fault = true;
+          break;
+        }
+      }
+      (in_fault ? completion_in_fault_ms : completion_clear_ms).add(completion);
+    }
     const std::size_t path_index = s.path;
     active_.erase(it);
     // Tear the session down through every layer; per-flow state anywhere in
@@ -217,6 +240,7 @@ class ChurnShardEngine {
     shard_.close_session(path_index, flow);
   }
 
+  std::vector<netsim::OutageWindow> fault_windows_;
   std::vector<ArrivalProcess> arrivals_;  // Indexed like shard_.path(i).
   std::vector<Rng> size_rngs_;
   std::unordered_map<FlowId, SessionState> active_;
@@ -249,13 +273,27 @@ void fnv_mix_sketch(std::uint64_t& h, const QuantileSketch& s) {
 std::uint64_t ChurnResult::fingerprint() const {
   std::uint64_t h = 14695981039346656037ULL;
   for (std::uint64_t v :
-       {totals.sessions_opened, totals.sessions_completed, totals.packets_sent,
-        totals.delivered_direct, totals.recovered, totals.lost, totals.leaked_flows}) {
+       {totals.sessions_opened, totals.sessions_completed, totals.sessions_succeeded,
+        totals.packets_sent, totals.delivered_direct, totals.recovered, totals.lost,
+        totals.leaked_flows}) {
     fnv_mix(h, v);
   }
   fnv_mix_sketch(h, completion_ms);
   fnv_mix_sketch(h, delivered_pct);
   fnv_mix_sketch(h, recovery_ms);
+  fnv_mix_sketch(h, completion_in_fault_ms);
+  fnv_mix_sketch(h, completion_clear_ms);
+  for (std::uint64_t v :
+       {faults.link_fault_drops, faults.dc_fault_dropped, faults.total_dc_crashes(),
+        faults.failovers, faults.reengages, faults.probes_sent, faults.nacks_suppressed,
+        faults.failover_direct_sent, faults.cloud_suppressed, faults.flushes_suppressed}) {
+    fnv_mix(h, v);
+  }
+  for (const PathFailover& ev : failover_events) {
+    fnv_mix(h, static_cast<std::uint64_t>(ev.path));
+    fnv_mix(h, static_cast<std::uint64_t>(ev.at));
+    fnv_mix(h, ev.up ? 1u : 0u);
+  }
   for (std::uint64_t v :
        {encoder.data_packets, encoder.in_batches, encoder.cross_batches,
         encoder.coded_sent, encoder.timer_flushes, encoder.single_packet_evictions,
@@ -308,15 +346,32 @@ ChurnResult run_churn(const ChurnConfig& user_config) {
   r.completion_ms = QuantileSketch(config.sketch_k);
   r.delivered_pct = QuantileSketch(config.sketch_k);
   r.recovery_ms = QuantileSketch(config.sketch_k);
+  r.completion_in_fault_ms = QuantileSketch(config.sketch_k);
+  r.completion_clear_ms = QuantileSketch(config.sketch_k);
   for (const auto& e : engines) {
     r.totals += e->totals;
     r.completion_ms.merge(e->completion_ms);
     r.delivered_pct.merge(e->delivered_pct);
     r.recovery_ms.merge(e->recovery_ms);
+    r.completion_in_fault_ms.merge(e->completion_in_fault_ms);
+    r.completion_clear_ms.merge(e->completion_clear_ms);
+    r.faults += e->shard_.fault_summary();
+    for (std::size_t p = 0; p < e->shard_.path_count(); ++p) {
+      const exp::PathRuntime& rt = e->shard_.path(p);
+      for (const exp::FailoverEvent& ev : rt.failover_events) {
+        r.failover_events.push_back(PathFailover{rt.global_index, ev.at, ev.up});
+      }
+    }
     r.encoder += e->shard_.encoder_totals();
     r.recovery += e->shard_.recovery_totals();
     r.events += e->shard_.sim().events_processed();
   }
+  // Sorted by (time, path): a stable order that does not depend on which
+  // shard a path landed in.
+  std::sort(r.failover_events.begin(), r.failover_events.end(),
+            [](const PathFailover& a, const PathFailover& b) {
+              return a.at != b.at ? a.at < b.at : a.path < b.path;
+            });
   r.shards_used = plans.size();
   r.threads_used = threads;
   return r;

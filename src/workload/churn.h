@@ -62,11 +62,17 @@ struct ChurnConfig {
   std::size_t num_shards = 0;
   unsigned num_threads = 0;  // 0 = JQOS_SIM_THREADS / hardware concurrency.
   std::size_t sketch_k = 1024;
+  // A session counts as succeeded when at least this fraction of its packets
+  // was delivered (direct or recovered). The fault benches gate on it: a
+  // DC2 crash without failover drags path-switched sessions under the bar.
+  double success_delivered_pct = 90.0;
 };
 
 struct ChurnTotals {
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_completed = 0;
+  // Sessions meeting the success_delivered_pct bar.
+  std::uint64_t sessions_succeeded = 0;
   std::uint64_t packets_sent = 0;
   std::uint64_t delivered_direct = 0;
   std::uint64_t recovered = 0;
@@ -78,6 +84,7 @@ struct ChurnTotals {
   ChurnTotals& operator+=(const ChurnTotals& o) {
     sessions_opened += o.sessions_opened;
     sessions_completed += o.sessions_completed;
+    sessions_succeeded += o.sessions_succeeded;
     packets_sent += o.packets_sent;
     delivered_direct += o.delivered_direct;
     recovered += o.recovered;
@@ -87,12 +94,27 @@ struct ChurnTotals {
   }
 };
 
+// One overlay up/down transition, tagged with the path that observed it.
+struct PathFailover {
+  std::size_t path = 0;  // Global path index.
+  SimTime at = 0;
+  bool up = false;
+};
+
 struct ChurnResult {
   ChurnTotals totals;
   // Per-session delivery quality, O(1) memory regardless of session count.
   QuantileSketch completion_ms;   // Open -> last delivered packet.
   QuantileSketch delivered_pct;   // Packets delivered (direct+recovered), %.
   QuantileSketch recovery_ms;     // Per recovered packet: detect -> deliver.
+  // completion_ms split by whether the session's lifetime overlapped a
+  // fault window of the scenario's plan (both empty when the plan is).
+  QuantileSketch completion_in_fault_ms;
+  QuantileSketch completion_clear_ms;
+  // Fault-layer counters merged across shards (see exp::FaultSummary).
+  exp::FaultSummary faults;
+  // Every overlay up/down transition, sorted by (time, path).
+  std::vector<PathFailover> failover_events;
   services::EncoderStats encoder;
   services::RecoveryStatsDc recovery;
   std::uint64_t events = 0;       // Simulator events summed over shards.

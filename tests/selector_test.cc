@@ -3,6 +3,8 @@
 // session API.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "endpoint/receiver.h"
 #include "endpoint/sender.h"
 #include "endpoint/service_selector.h"
@@ -67,6 +69,29 @@ TEST(Selector, FallsBackToFastestWhenNothingFits) {
   const PathDelays d = typical_us_eu();
   const auto quote = select_service(d, 10.0, 1.0 / 3.0);
   EXPECT_EQ(quote.service, ServiceType::kForward);  // Lowest-delay recovery.
+}
+
+TEST(Selector, BudgetBoundaryIsInclusive) {
+  // A budget exactly equal to a service's expected delay admits it: the
+  // paper's constraint is delay <= budget, not strict.
+  const PathDelays d = typical_us_eu();
+  const double coding_delay = expected_delay_ms(ServiceType::kCode, d);  // 89 ms.
+  EXPECT_EQ(select_service(d, coding_delay, 1.0 / 3.0).service, ServiceType::kCode);
+  // One hair under the boundary excludes coding; caching is next-cheapest.
+  EXPECT_EQ(select_service(d, std::nexttoward(coding_delay, 0.0), 1.0 / 3.0).service,
+            ServiceType::kCache);
+}
+
+TEST(Selector, InternetQuoteIsThePlainDirectPath) {
+  // What failover falls back to when the overlay is unreachable: service
+  // kNone at the direct-path delay y, zero cloud egress. No re-selection
+  // happens -- this is the only candidate left.
+  const PathDelays d = typical_us_eu();
+  const ServiceQuote q = internet_quote(d);
+  EXPECT_EQ(q.service, ServiceType::kNone);
+  EXPECT_DOUBLE_EQ(q.expected_delay_ms, expected_delay_ms(ServiceType::kNone, d));
+  EXPECT_DOUBLE_EQ(q.expected_delay_ms, d.y_ms);
+  EXPECT_DOUBLE_EQ(q.relative_cost, 0.0);
 }
 
 TEST(Selector, QuotesSortedByCost) {

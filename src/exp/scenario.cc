@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/parallel.h"
 #include "netsim/latency_model.h"
 
 namespace jqos::exp {
@@ -105,10 +106,30 @@ ScenarioShard::ScenarioShard(std::vector<IndexedPath> paths, const WanScenarioPa
       rng_(params.seed),
       registry_(std::make_shared<services::FlowRegistry>()),
       sessions_(registry_) {
-  build_overlay(paths);
-  for (auto& path : paths) build_path(std::move(path));
+  // Lane planning precedes all construction: configure_lanes refuses a
+  // populated simulator, and build_* pin every entity's events to its lane
+  // via LaneScope. More lanes than paths would leave empty lanes spinning
+  // at every barrier, so clamp; the env knob only applies when the params
+  // leave lanes at the 0 default.
+  std::size_t lanes = params_.lanes != 0 ? params_.lanes : resolve_sim_lanes();
+  lanes = std::min(lanes, paths.size());
+  if (lanes > 0) {
+    lanes_used_ = lanes;
+    sim_.configure_lanes(1 + lanes, resolve_sim_threads(params_.lane_threads));
+  }
+  {
+    // Hub lane: DCs, services, and inter-DC links all live in lane 0.
+    const netsim::Simulator::LaneScope hub(sim_, 0);
+    build_overlay(paths);
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    // Endpoint lane: the path's sender, receiver, app, and direct link.
+    const netsim::Simulator::LaneScope scope(sim_, lane_of_path(i));
+    build_path(std::move(paths[i]));
+  }
   // Arm the fault schedule once the whole shard topology is bound; plan
   // targets living in other shards are skipped (counted skipped_unbound).
+  // The injector scopes each fault into its target's bound lane itself.
   if (!params_.faults.empty()) injector_.arm(params_.faults);
 }
 
@@ -176,6 +197,9 @@ void ScenarioShard::build_overlay(const std::vector<IndexedPath>& paths) {
 
 void ScenarioShard::build_path(IndexedPath path) {
   geo::PathSample sample = std::move(path.sample);
+  // This path's endpoint lane (0 when lanes are off): paths_ grows in build
+  // order, so the path under construction has local index paths_.size().
+  const std::size_t lane = lane_of_path(paths_.size());
   // Every stochastic choice this path makes -- severity, loss processes,
   // jitter, access links, receiver straggler behavior, workload skew --
   // draws from streams derived from (scenario seed, GLOBAL path index).
@@ -310,7 +334,7 @@ void ScenarioShard::build_path(IndexedPath path) {
                     netsim::make_jitter_latency(jp, path_rng.fork("direct-lat")),
                     std::move(loss));
   if (!params_.faults.empty()) {
-    injector_.bind_link("direct:" + std::to_string(rt->global_index), &direct_link);
+    injector_.bind_link("direct:" + std::to_string(rt->global_index), &direct_link, lane);
   }
 
   // Access links to the nearby DCs, drawn from path-keyed streams so attach
@@ -319,6 +343,27 @@ void ScenarioShard::build_path(IndexedPath path) {
   Rng access_r = path_rng.fork("access-r");
   overlay_->attach_host(rt->sender->id(), *rt->dc1, msec_f(sample.delta_s_ms), access_s);
   overlay_->attach_host(rt->receiver->id(), *rt->dc2, msec_f(sample.delta_r_ms), access_r);
+
+  // Lane mode: the four access links are exactly the edges where this
+  // path's lane meets the hub lane, so their deliveries go through declared
+  // channels (buffered during windows, merged canonically at barriers).
+  // Channel keys derive from the GLOBAL path index -- stable identities, so
+  // the canonical merge order is independent of shard layout. min_delay is
+  // the link's base latency: a true floor, since jitter, brownout penalties,
+  // and the preserve_order clamp only ever add delay. The direct link needs
+  // no channel -- both of its ends live in this path's lane.
+  if (lanes_used_ > 0) {
+    const auto wire = [this](NodeId from, NodeId to, std::uint64_t key,
+                             std::size_t target) {
+      netsim::Link* l = net_.link(from, to);
+      l->set_lane_channel(&sim_.make_channel(key, target, l->base_latency()));
+    };
+    const std::uint64_t base = static_cast<std::uint64_t>(rt->global_index) << 3;
+    wire(rt->sender->id(), rt->dc1->id(), base | 0, 0);
+    wire(rt->dc1->id(), rt->sender->id(), base | 1, lane);
+    wire(rt->receiver->id(), rt->dc2->id(), base | 2, 0);
+    wire(rt->dc2->id(), rt->receiver->id(), base | 3, lane);
+  }
 
   // Forwarding-service routing: packets for this receiver entering DC1 ride
   // the inter-DC path to DC2, which has the access link to the receiver.
@@ -394,6 +439,8 @@ void ScenarioShard::run(SimDuration duration) {
   const auto schedule = transport::CbrApp::make_schedule(
       sim_.now(), sim_.now() + duration, params_.cbr, sched_rng);
   for (std::size_t i = 0; i < paths_.size(); ++i) {
+    // App ticks belong to the path's endpoint lane (no-op when lanes off).
+    const netsim::Simulator::LaneScope scope(sim_, lane_of_path(i));
     const std::uint64_t pseed = path_seed(params_.seed, paths_[i]->global_index);
     transport::CbrParams p = params_.cbr;
     p.initial_skew = static_cast<SimDuration>(

@@ -104,6 +104,10 @@ void Link::send(const PacketPtr& pkt, DeliverFn deliver) {
   const SimTime arrive = admit(pkt, mark);
   if (arrive < 0) return;
   const PacketPtr out = mark ? with_ce_mark(pkt) : pkt;
+  if (channel_ != nullptr) {
+    channel_->schedule(arrive, [out, deliver = std::move(deliver)] { deliver(out); });
+    return;
+  }
   sim_.at(arrive, [out, deliver = std::move(deliver)] { deliver(out); });
 }
 
@@ -114,11 +118,19 @@ void Link::send(const PacketPtr& pkt) {
   if (arrive < 0) return;
   if (mark) {
     const PacketPtr out = with_ce_mark(pkt);
-    sim_.at(arrive, [this, out] { deliver_(out); });
+    if (channel_ != nullptr) {
+      channel_->schedule(arrive, [this, out] { deliver_(out); });
+    } else {
+      sim_.at(arrive, [this, out] { deliver_(out); });
+    }
     return;
   }
   // (this, pkt) is 24 bytes: well inside EventFn's inline buffer, and no
   // std::function is copied on the per-packet path.
+  if (channel_ != nullptr) {
+    channel_->schedule(arrive, [this, pkt] { deliver_(pkt); });
+    return;
+  }
   sim_.at(arrive, [this, pkt] { deliver_(pkt); });
 }
 

@@ -30,7 +30,7 @@ Link& Network::add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossMod
   ref.set_deliver([this, to](const PacketPtr& delivered) {
     auto it = nodes_.find(to);
     if (it == nodes_.end()) {
-      ++routing_failures_;
+      routing_failures_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     it->second->handle_packet(delivered);
@@ -42,7 +42,7 @@ Link& Network::add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossMod
 void Network::send(NodeId from, const PacketPtr& pkt) {
   Link* l = link(from, pkt->dst);
   if (l == nullptr) {
-    ++routing_failures_;
+    routing_failures_.fetch_add(1, std::memory_order_relaxed);
     JQOS_WARN("no link " << from << " -> " << pkt->dst << " for " << to_string(pkt->type));
     return;
   }

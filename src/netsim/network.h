@@ -4,6 +4,7 @@
 // processes and hands surviving packets to the destination node.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <utility>
@@ -72,7 +73,9 @@ class Network {
     for (const auto& [key, l] : links_) fn(*l);
   }
 
-  std::uint64_t routing_failures() const { return routing_failures_; }
+  std::uint64_t routing_failures() const {
+    return routing_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   Simulator& sim_;
@@ -81,7 +84,9 @@ class Network {
   NodeId next_id_ = 1;
   std::map<NodeId, Node*> nodes_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
-  std::uint64_t routing_failures_ = 0;
+  // Atomic: in lane mode a delivery sink (which counts unattached targets)
+  // runs in the RECEIVING lane while Network::send runs in senders' lanes.
+  std::atomic<std::uint64_t> routing_failures_{0};
 };
 
 }  // namespace jqos::netsim

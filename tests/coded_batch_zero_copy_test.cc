@@ -14,6 +14,7 @@
 #include "fec/coded_batch.h"
 #include "fec/gf256_simd.h"
 #include "fec/reed_solomon.h"
+#include "test_guards.h"
 
 namespace jqos::fec {
 namespace {
@@ -284,6 +285,7 @@ TEST(ReedSolomonStrided, StridedEncodeMatchesPointerArray) {
 // 32/16-byte SIMD steps and the scalar tail, misaligned sources, and guard
 // bytes after dst to catch overwrites.
 TEST(GfRsRow, MatchesPerSourceCompositionOnEveryBackend) {
+  const jqos::testing::GfBackendGuard guard;
   Rng rng(0xf00d);
   for (fec::GfBackend backend : gf_available_backends()) {
     ASSERT_TRUE(gf_set_backend(backend));
@@ -320,7 +322,6 @@ TEST(GfRsRow, MatchesPerSourceCompositionOnEveryBackend) {
                                << " n=" << n << " misalign=" << misalign;
     }
   }
-  gf_set_backend(gf_best_backend());
 }
 
 // The strided overload must agree with the pointer-array overload when the

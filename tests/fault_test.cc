@@ -25,6 +25,7 @@
 #include "overlay/datacenter.h"
 #include "services/coding/recovery_dc.h"
 #include "workload/churn.h"
+#include "test_guards.h"
 
 namespace jqos {
 namespace {
@@ -500,13 +501,15 @@ TEST(FaultChurn, FingerprintBitIdenticalAcrossThreadCounts) {
 }
 
 TEST(FaultChurn, FingerprintBitIdenticalAcrossEventQueueBackends) {
-  struct BackendGuard {
-    ~BackendGuard() { netsim::evq_clear_default_backend(); }
-  } guard;
-  netsim::evq_set_default_backend(netsim::EvqBackend::kLadder);
-  const std::uint64_t fp_ladder = workload::run_churn(crashed_churn(true)).fingerprint();
-  netsim::evq_set_default_backend(netsim::EvqBackend::kHeap);
-  const std::uint64_t fp_heap = workload::run_churn(crashed_churn(true)).fingerprint();
+  std::uint64_t fp_ladder = 0, fp_heap = 0;
+  {
+    const jqos::testing::EvqBackendGuard guard(netsim::EvqBackend::kLadder);
+    fp_ladder = workload::run_churn(crashed_churn(true)).fingerprint();
+  }
+  {
+    const jqos::testing::EvqBackendGuard guard(netsim::EvqBackend::kHeap);
+    fp_heap = workload::run_churn(crashed_churn(true)).fingerprint();
+  }
   EXPECT_EQ(fp_ladder, fp_heap);
 }
 

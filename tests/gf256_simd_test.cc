@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "fec/gf256.h"
 #include "fec/gf256_simd.h"
+#include "test_guards.h"
 
 namespace jqos::fec {
 namespace {
@@ -37,11 +38,9 @@ Gf schoolbook_mul(Gf a, Gf b) {
   return static_cast<Gf>(acc);
 }
 
-// Restores the dispatcher's own choice when a test finishes, so backend
-// forcing cannot leak across test cases.
-struct BackendGuard {
-  ~BackendGuard() { gf_set_backend(gf_best_backend()); }
-};
+// Restores the backend that was active on entry when a test finishes, so
+// backend forcing cannot leak across test cases (`ctest --schedule-random`).
+using BackendGuard = jqos::testing::GfBackendGuard;
 
 constexpr std::size_t kGuard = 32;       // Guard bytes on each side of dst.
 constexpr std::uint8_t kCanary = 0xa5;

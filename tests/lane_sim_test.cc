@@ -1,0 +1,352 @@
+// Simulator lane-mode edge coverage: the horizon protocol at its boundary
+// conditions, the conservative-lookahead guard rails, cross-lane cancel
+// semantics, slab reuse under lane churn, and the parallelism knobs'
+// rejection of invalid settings (JQOS_SIM_THREADS / JQOS_SIM_LANES /
+// configure_lanes). The scenario-level determinism suites prove lanes give
+// identical RESULTS; this file pins the engine-level contract those suites
+// stand on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "netsim/simulator.h"
+#include "test_guards.h"
+
+namespace jqos::netsim {
+namespace {
+
+using jqos::testing::EnvVarGuard;
+
+// One (time, label) observation; per-lane traces avoid cross-lane writes.
+struct Obs {
+  SimTime at = 0;
+  std::string label;
+  bool operator==(const Obs&) const = default;
+};
+
+// ------------------------------------------------------------ horizon edges
+
+TEST(LaneSim, EventExactlyAtHorizonBoundaryFires) {
+  // The tightest legal channel push lands exactly at sender_time + min_delay
+  // == the receiving window's end (windows drain to E-1 inclusive). The
+  // event must fire in the NEXT window, at its exact timestamp, after every
+  // strictly-earlier event -- and the whole schedule must be thread-count
+  // invariant.
+  std::vector<std::vector<Obs>> traces[2];
+  for (unsigned threads : {1u, 2u}) {
+    Simulator sim;
+    sim.configure_lanes(2, threads);
+    auto& ch = sim.make_channel(/*key=*/1, /*target_lane=*/1, /*min_delay=*/10);
+    auto& traceset = traces[threads - 1];
+    traceset.assign(2, {});
+    {
+      const Simulator::LaneScope lane1(sim, 1);
+      // Local lane-1 work before, at, and after the boundary time 110.
+      sim.at(105, [&] { traceset[1].push_back({sim.now(), "local-105"}); });
+      sim.at(110, [&] { traceset[1].push_back({sim.now(), "local-110"}); });
+      sim.at(115, [&] { traceset[1].push_back({sim.now(), "local-115"}); });
+    }
+    {
+      const Simulator::LaneScope lane0(sim, 0);
+      sim.at(100, [&] {
+        traceset[0].push_back({sim.now(), "send"});
+        // Exactly now + min_delay: the earliest a cross-lane event may land.
+        ch.schedule(sim.now() + 10, [&] { traceset[1].push_back({sim.now(), "cross-110"}); });
+      });
+    }
+    sim.run();
+    EXPECT_EQ(sim.now(), 115);
+    ASSERT_EQ(traceset[0].size(), 1u);
+    ASSERT_EQ(traceset[1].size(), 4u);
+    EXPECT_EQ(traceset[1][0], (Obs{105, "local-105"}));
+    // Tie at 110: the build-time local push precedes the barrier-injected
+    // cross-lane event -- the canonical order, identical at every thread
+    // count because injection happens between windows in sorted outbox order.
+    EXPECT_EQ(traceset[1][1], (Obs{110, "local-110"}));
+    EXPECT_EQ(traceset[1][2], (Obs{110, "cross-110"}));
+    EXPECT_EQ(traceset[1][3], (Obs{115, "local-115"}));
+  }
+  EXPECT_EQ(traces[0][1], traces[1][1]) << "thread count changed the lane-1 schedule";
+}
+
+TEST(LaneSim, SerialLaneFiresBeforeEqualTimeLaneEvents) {
+  // next_serial <= window start means the serial event runs first: serial
+  // bookkeeping at time T observes the world before any lane work at T.
+  Simulator sim;
+  sim.configure_lanes(1, 1);
+  sim.make_channel(1, 0, 10);  // Gives the lane loop a finite lookahead.
+  std::vector<std::string> order;  // threads=1: single-threaded, safe.
+  {
+    const Simulator::LaneScope serial(sim, Simulator::kSerialLane);
+    sim.at(50, [&] { order.push_back("serial@50"); });
+  }
+  {
+    const Simulator::LaneScope lane0(sim, 0);
+    sim.at(50, [&] { order.push_back("lane@50"); });
+    sim.at(49, [&] { order.push_back("lane@49"); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "lane@49");
+  EXPECT_EQ(order[1], "serial@50");
+  EXPECT_EQ(order[2], "lane@50");
+}
+
+TEST(LaneSim, PingPongAcrossLanesKeepsExactTimestamps) {
+  // Sustained cross-lane traffic in both directions: every hop lands at
+  // exactly the previous time + delay, across many windows, any threads.
+  for (unsigned threads : {1u, 2u}) {
+    Simulator sim;
+    sim.configure_lanes(2, threads);
+    auto& to1 = sim.make_channel(1, 1, 7);
+    auto& to0 = sim.make_channel(2, 0, 3);
+    std::vector<Obs> trace0, trace1;  // Written only by their own lane.
+    int remaining = 50;
+    std::function<void()> hop1;
+    std::function<void()> hop0 = [&] {
+      trace0.push_back({sim.now(), "at0"});
+      if (--remaining > 0) to1.schedule(sim.now() + 7, [&] { hop1(); });
+    };
+    hop1 = [&] {
+      trace1.push_back({sim.now(), "at1"});
+      if (--remaining > 0) to0.schedule(sim.now() + 3, [&] { hop0(); });
+    };
+    {
+      const Simulator::LaneScope lane0(sim, 0);
+      sim.at(kSimStart + 1, hop0);
+    }
+    sim.run();
+    ASSERT_EQ(trace0.size() + trace1.size(), 50u);
+    for (std::size_t i = 1; i < trace0.size(); ++i) {
+      EXPECT_EQ(trace0[i].at, trace0[i - 1].at + 10);  // Full round trip.
+    }
+    for (std::size_t i = 0; i < trace1.size(); ++i) {
+      EXPECT_EQ(trace1[i].at, trace0[i].at + 7);
+    }
+    EXPECT_EQ(sim.events_processed(), 50u);
+  }
+}
+
+// ---------------------------------------------------- conservative guards
+
+TEST(LaneSim, ZeroLookaheadChannelRejected) {
+  Simulator sim;
+  sim.configure_lanes(2, 1);
+  try {
+    sim.make_channel(9, 1, 0);
+    FAIL() << "zero-lookahead channel accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("zero lookahead"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(sim.make_channel(9, 1, -5), std::invalid_argument);
+  // Serial-target channels carry no lookahead obligation: 0 is fine there,
+  // and the global lookahead must remain untouched by them.
+  sim.make_channel(10, Simulator::kSerialLane, 0);
+  sim.make_channel(11, 1, 25);
+  EXPECT_EQ(sim.lookahead(), 25);
+}
+
+TEST(LaneSim, ConservativeViolationInsideWindowThrows) {
+  // A channel push into the executing window is a causality bug the engine
+  // must refuse loudly, naming the channel and its declared floor.
+  Simulator sim;
+  sim.configure_lanes(2, 1);
+  auto& ch = sim.make_channel(3, 1, 100);
+  {
+    const Simulator::LaneScope lane0(sim, 0);
+    sim.at(10, [&] { ch.schedule(sim.now() + 1, [] {}); });
+  }
+  try {
+    sim.run();
+    FAIL() << "undershooting min_delay mid-window did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("conservative lookahead violated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("min_delay"), std::string::npos) << msg;
+  }
+}
+
+TEST(LaneSim, DuplicateChannelKeyAndUnknownLaneRejected) {
+  Simulator sim;
+  sim.configure_lanes(2, 1);
+  sim.make_channel(5, 1, 10);
+  EXPECT_THROW(sim.make_channel(5, 0, 10), std::invalid_argument);
+  EXPECT_THROW(sim.make_channel(6, 7, 10), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ cancel
+
+TEST(LaneSim, CancelSemanticsAcrossLanes) {
+  Simulator sim;
+  sim.configure_lanes(2, 1);
+  sim.make_channel(1, 1, 1000);  // Long lookahead: one big window.
+  bool own_fired = false, foreign_fired = false;
+  EventId own_id = 0, foreign_id = 0;
+  {
+    const Simulator::LaneScope lane1(sim, 1);
+    foreign_id = sim.at(50, [&] { foreign_fired = true; });
+  }
+  {
+    const Simulator::LaneScope lane0(sim, 0);
+    own_id = sim.at(60, [&] { own_fired = true; });
+    sim.at(10, [&] {
+      // Mid-window, a lane may cancel its OWN pending events...
+      sim.cancel(own_id);
+      // ...while a foreign lane's id is an O(1) no-op, not a race and not
+      // an error: that event still fires.
+      sim.cancel(foreign_id);
+    });
+  }
+  sim.run();
+  EXPECT_FALSE(own_fired);
+  EXPECT_TRUE(foreign_fired);
+  // Stale cancels (id already fired) stay harmless, in and out of windows.
+  sim.cancel(foreign_id);
+  EXPECT_EQ(sim.events_processed(), 2u);  // The canceller and the foreign event.
+}
+
+TEST(LaneSim, OutsideWindowCancelReachesAnyLane) {
+  // Between runs (no window executing) a cancel routes to the owning lane's
+  // queue whatever lane it targets.
+  Simulator sim;
+  sim.configure_lanes(3, 1);
+  bool fired = false;
+  EventId id = 0;
+  {
+    const Simulator::LaneScope lane2(sim, 2);
+    id = sim.at(40, [&] { fired = true; });
+  }
+  sim.cancel(id);  // Ambient context, different (default) lane.
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+// ------------------------------------------------------------------- slab
+
+TEST(LaneSim, SlabHighWaterBoundedUnderLaneChurn) {
+  // Thousands of schedule/fire cycles across lanes + serial must reuse
+  // slots: the slab high-water tracks peak outstanding events per lane, not
+  // cumulative history.
+  Simulator sim;
+  sim.configure_lanes(2, 2);
+  sim.make_channel(1, 1, 50);
+  std::uint64_t fired = 0;  // Serial-lane counter (single-threaded).
+  // One serial-target channel per source lane: a channel's sequence counter
+  // is deliberately unsynchronized (cross-thread increment order would break
+  // the canonical merge), so only one lane may send on a given channel
+  // within a window.
+  Simulator::Channel* serial_ch[2] = {&sim.make_channel(2, Simulator::kSerialLane, 0),
+                                      &sim.make_channel(3, Simulator::kSerialLane, 0)};
+  for (int round = 0; round < 200; ++round) {
+    const SimTime base = kSimStart + 1 + round * 100;
+    for (std::size_t lane = 0; lane < 2; ++lane) {
+      const Simulator::LaneScope scope(sim, lane);
+      for (int k = 0; k < 8; ++k) {
+        sim.at(base + k, [&, lane] {
+          serial_ch[lane]->schedule(sim.now() + 60, [&] { ++fired; });
+        });
+      }
+    }
+    sim.run();
+  }
+  EXPECT_EQ(fired, 200u * 2 * 8);
+  // 16 events/round/lane outstanding at peak; 3200 pushed per queue overall.
+  EXPECT_LE(sim.lane_queue(0).slab_slots(), 64u);
+  EXPECT_LE(sim.lane_queue(1).slab_slots(), 64u);
+  EXPECT_LE(sim.lane_queue(Simulator::kSerialLane).slab_slots(), 64u);
+}
+
+// ------------------------------------------------------------------- knobs
+
+TEST(SimKnobs, ResolveSimThreadsRejectsBogusEnv) {
+  for (const char* bad : {"0", "-3", "", "12abc", "garbage", "+"}) {
+    EnvVarGuard env("JQOS_SIM_THREADS", std::string(bad));
+    try {
+      (void)resolve_sim_threads();
+      FAIL() << "JQOS_SIM_THREADS='" << bad << "' accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      // Actionable: names the knob, shows the value, says how to clear it.
+      EXPECT_NE(msg.find("JQOS_SIM_THREADS"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(bad), std::string::npos) << msg;
+      EXPECT_NE(msg.find("Unset"), std::string::npos) << msg;
+    }
+    // An explicit request bypasses the env entirely -- a caller-provided
+    // count must not fail because the environment is broken.
+    EXPECT_EQ(resolve_sim_threads(3), 3u);
+  }
+  {
+    EnvVarGuard env("JQOS_SIM_THREADS", "4");
+    EXPECT_EQ(resolve_sim_threads(), 4u);
+  }
+  {
+    EnvVarGuard env("JQOS_SIM_THREADS", std::nullopt);
+    EXPECT_GE(resolve_sim_threads(), 1u);
+  }
+}
+
+TEST(SimKnobs, ResolveSimLanesRejectsBogusEnv) {
+  for (const char* bad : {"-1", "x", "", "3.5", "07h"}) {
+    EnvVarGuard env("JQOS_SIM_LANES", std::string(bad));
+    try {
+      (void)resolve_sim_lanes();
+      FAIL() << "JQOS_SIM_LANES='" << bad << "' accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("JQOS_SIM_LANES"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("Unset"), std::string::npos) << msg;
+    }
+  }
+  {
+    EnvVarGuard env("JQOS_SIM_LANES", "0");  // "0" is a valid OFF setting.
+    EXPECT_EQ(resolve_sim_lanes(), 0u);
+  }
+  {
+    EnvVarGuard env("JQOS_SIM_LANES", "6");
+    EXPECT_EQ(resolve_sim_lanes(), 6u);
+    EXPECT_EQ(resolve_sim_lanes(2), 2u);  // Explicit request wins.
+  }
+  {
+    EnvVarGuard env("JQOS_SIM_LANES", std::nullopt);
+    EXPECT_EQ(resolve_sim_lanes(), 0u);
+  }
+}
+
+TEST(SimKnobs, ConfigureLanesRejectsInvalidCounts) {
+  for (std::size_t bad : {std::size_t{0}, Simulator::kMaxLanes + 1, std::size_t{1000}}) {
+    Simulator sim;
+    try {
+      sim.configure_lanes(bad);
+      FAIL() << "lane count " << bad << " accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(std::to_string(bad)), std::string::npos) << msg;
+      EXPECT_NE(msg.find("disable lanes"), std::string::npos) << msg;
+    }
+    EXPECT_FALSE(sim.lanes_enabled()) << "failed configure must leave plain mode intact";
+  }
+  Simulator sim;
+  sim.configure_lanes(2, 1);
+  EXPECT_THROW(sim.configure_lanes(2, 1), std::logic_error);  // Once only.
+  EXPECT_THROW(sim.step(), std::logic_error);  // step() is plain-mode only.
+}
+
+TEST(SimKnobs, LaneScopeValidatesLane) {
+  Simulator laned;
+  laned.configure_lanes(2, 1);
+  EXPECT_THROW(Simulator::LaneScope(laned, 5), std::invalid_argument);
+  { const Simulator::LaneScope ok(laned, 1); }
+  { const Simulator::LaneScope serial(laned, Simulator::kSerialLane); }
+  // On a plain simulator the scope is an inert shell (scenario code uses it
+  // unconditionally): any lane value is tolerated and nothing changes.
+  Simulator plain;
+  { const Simulator::LaneScope noop(plain, 7); }
+  EXPECT_FALSE(plain.lanes_enabled());
+}
+
+}  // namespace
+}  // namespace jqos::netsim

@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "exp/scenario.h"
 #include "netsim/simulator.h"
+#include "test_guards.h"
 
 namespace jqos::netsim {
 namespace {
@@ -163,7 +164,7 @@ struct ScenarioFingerprint {
 };
 
 ScenarioFingerprint run_fig9_style(EvqBackend backend, std::uint64_t seed) {
-  evq_set_default_backend(backend);
+  const jqos::testing::EvqBackendGuard guard(backend);
   Rng prng(seed);
   auto paths = geo::planetlab_paths(6, prng);
   // One DC pair so coding groups reach full k, as the figure benches do.

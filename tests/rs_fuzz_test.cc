@@ -20,11 +20,14 @@
 #include "common/rng.h"
 #include "fec/gf256_simd.h"
 #include "fec/reed_solomon.h"
+#include "test_guards.h"
 
 namespace jqos::fec {
 namespace {
 
 TEST(RsFuzz, RandomizedEncodeEraseDecodeRoundTrips) {
+  // Restores the entry backend even when an ASSERT aborts mid-fuzz.
+  const jqos::testing::GfBackendGuard guard;
   constexpr int kIterations = 1000;
   Rng rng(0xf022ed5eed);
   const auto backends = gf_available_backends();
@@ -88,7 +91,6 @@ TEST(RsFuzz, RandomizedEncodeEraseDecodeRoundTrips) {
           << " survivors, not fabricate data";
     }
   }
-  gf_set_backend(gf_best_backend());
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <cstdio>
 
 #include "bench_json.h"
+#include "common/alloc_probe.h"
 #include "workload/churn.h"
 
 namespace {
@@ -64,10 +65,22 @@ workload::ChurnConfig make_config(const SoakSpec& spec, SimDuration duration) {
 
 workload::ChurnResult run_soak(const SoakSpec& spec, SimDuration duration, bool json,
                                const char* label) {
+  // Per-soak global-allocator hits, amortized over every packet the soak
+  // pushed. The pooled steady state is literally zero (the CI-run
+  // steady_state_alloc_test asserts that); a whole soak also pays one-time
+  // scenario construction and pool fill, so the figure here is a small
+  // fraction that bench_regression.py gates lower-is-better. Counts are
+  // real only when the alloc probe owns the heap (not under sanitizers).
+  alloc_probe::reset();
   const auto t0 = std::chrono::steady_clock::now();
   workload::ChurnResult r = workload::run_churn(make_config(spec, duration));
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const std::uint64_t allocs = alloc_probe::allocations();
+  const double allocs_per_packet =
+      r.totals.packets_sent > 0
+          ? static_cast<double>(allocs) / static_cast<double>(r.totals.packets_sent)
+          : 0.0;
   const double sessions_per_sec =
       wall_s > 0.0 ? static_cast<double>(r.totals.sessions_completed) / wall_s : 0.0;
   const double rss = peak_rss_mb();
@@ -75,8 +88,8 @@ workload::ChurnResult run_soak(const SoakSpec& spec, SimDuration duration, bool 
   char fp[32];
   std::snprintf(fp, sizeof(fp), "%016" PRIx64, r.fingerprint());
   if (json) {
-    bench::JsonRow("churn")
-        .add("mode", spec.mode)
+    bench::JsonRow row("churn");
+    row.add("mode", spec.mode)
         .add("soak", label)
         .add("sessions", static_cast<std::uint64_t>(r.totals.sessions_completed))
         .add("packets", static_cast<std::uint64_t>(r.totals.packets_sent))
@@ -92,18 +105,28 @@ workload::ChurnResult run_soak(const SoakSpec& spec, SimDuration duration, bool 
         .add("shards", static_cast<std::uint64_t>(r.shards_used))
         .add("threads", static_cast<std::uint64_t>(r.threads_used))
         .add("peak_rss_mb", rss)
-        .add("fingerprint", fp)
-        .emit();
+        .add("fingerprint", fp);
+    // Omitted (not zeroed) when the probe is stubbed out, so the regression
+    // gate never compares a sanitizer row against a real count.
+    if (alloc_probe::active()) row.add("allocs_per_packet", allocs_per_packet);
+    row.emit();
   } else {
+    char apx[32];
+    if (alloc_probe::active()) {
+      std::snprintf(apx, sizeof(apx), "%.4f", allocs_per_packet);
+    } else {
+      std::snprintf(apx, sizeof(apx), "n/a");
+    }
     std::printf(
         "churn %-5s soak=%s sessions=%" PRIu64 " (%.0f/s wall) packets=%" PRIu64
         "\n  completion p50/p99/p99.9 = %.1f / %.1f / %.1f ms   delivered p50 = %.2f%%\n"
-        "  leaked=%" PRIu64 " events=%" PRIu64 " shards=%zu threads=%u rss=%.1f MB fp=%s\n",
+        "  leaked=%" PRIu64 " events=%" PRIu64 " shards=%zu threads=%u rss=%.1f MB"
+        " allocs/pkt=%s fp=%s\n",
         spec.mode, label, r.totals.sessions_completed, sessions_per_sec,
         r.totals.packets_sent, r.completion_ms.quantile(0.5),
         r.completion_ms.quantile(0.99), r.completion_ms.quantile(0.999),
         r.delivered_pct.quantile(0.5), r.totals.leaked_flows, r.events, r.shards_used,
-        r.threads_used, rss, fp);
+        r.threads_used, rss, apx, fp);
   }
   return r;
 }

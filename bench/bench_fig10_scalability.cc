@@ -14,6 +14,7 @@
 // sweep is skipped — use --benchmark_format=json for machine-readable
 // thread-scaling data.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
@@ -23,6 +24,8 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "common/alloc_probe.h"
+#include "common/packet_pool.h"
 #include "common/rng.h"
 #include "exp/sharded_runner.h"
 #include "fec/gf256_simd.h"
@@ -36,6 +39,13 @@ using namespace jqos;
 
 constexpr std::size_t kPacketBytes = 512;  // The paper's accounting size.
 constexpr std::size_t kBlock = 5;          // One coded packet per 5 data packets.
+
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 // One encoder worker's working set: k data shards + 1 parity shard.
 struct WorkerState {
@@ -148,10 +158,15 @@ struct NetsimPoint {
   netsim::EvqBackend backend;
   std::uint64_t packets = 0;
   std::uint64_t events = 0;
+  std::uint64_t allocs = 0;  // Global-allocator hits during the timed run.
   double wall_sec = 0.0;
 
   double events_per_sec() const { return static_cast<double>(events) / wall_sec; }
   double kpps() const { return static_cast<double>(packets) / wall_sec / 1e3; }
+  double mpps() const { return kpps() / 1e3; }
+  double allocs_per_packet() const {
+    return packets > 0 ? static_cast<double>(allocs) / static_cast<double>(packets) : 0.0;
+  }
 };
 
 NetsimPoint run_netsim_sweep(netsim::EvqBackend backend, std::uint64_t total_packets) {
@@ -163,8 +178,13 @@ NetsimPoint run_netsim_sweep(netsim::EvqBackend backend, std::uint64_t total_pac
   constexpr std::size_t kWindow = 256;  // Outstanding packets per flow.
   const std::uint64_t per_flow = total_packets / kFlows;
 
+  // One pool for the whole sweep (single-threaded dispatch): env-gated, so
+  // JQOS_OBJ_POOL=0 measures the pre-pool allocating path for comparison.
+  PacketPool pool;
+
   struct Pump final : netsim::Node {
     netsim::Network& net;
+    PacketPool& pool;
     NodeId self;
     NodeId peer = 0;
     FlowId flow = 0;
@@ -172,12 +192,12 @@ NetsimPoint run_netsim_sweep(netsim::EvqBackend backend, std::uint64_t total_pac
     std::uint64_t received = 0;
     SeqNo next_seq = 0;
 
-    Pump(netsim::Network& n, NodeId id) : net(n), self(id) {}
+    Pump(netsim::Network& n, PacketPool& pl, NodeId id) : net(n), pool(pl), self(id) {}
     NodeId id() const override { return self; }
     void send_one() {
       if (to_send == 0) return;
       --to_send;
-      net.send(self, make_data_packet(flow, next_seq++, self, peer, 0, 512));
+      net.send(self, make_data_packet(flow, next_seq++, self, peer, 0, 512, &pool));
     }
     void handle_packet(const PacketPtr&) override {}
   };
@@ -197,7 +217,7 @@ NetsimPoint run_netsim_sweep(netsim::EvqBackend backend, std::uint64_t total_pac
   std::vector<std::unique_ptr<Pump>> pumps;
   std::vector<std::unique_ptr<Sink>> sinks;
   for (std::size_t f = 0; f < kFlows; ++f) {
-    auto pump = std::make_unique<Pump>(net, net.allocate_id());
+    auto pump = std::make_unique<Pump>(net, pool, net.allocate_id());
     auto sink = std::make_unique<Sink>(net.allocate_id());
     pump->peer = sink->id();
     pump->flow = static_cast<FlowId>(f + 1);
@@ -215,6 +235,7 @@ NetsimPoint run_netsim_sweep(netsim::EvqBackend backend, std::uint64_t total_pac
     sinks.push_back(std::move(sink));
   }
 
+  alloc_probe::reset();
   const auto start = std::chrono::steady_clock::now();
   for (auto& p : pumps) {
     for (std::size_t w = 0; w < kWindow; ++w) p->send_one();
@@ -227,6 +248,7 @@ NetsimPoint run_netsim_sweep(netsim::EvqBackend backend, std::uint64_t total_pac
   point.backend = backend;
   for (auto& s : sinks) point.packets += s->received;
   point.events = sim.events_processed();
+  point.allocs = alloc_probe::allocations();
   point.wall_sec = secs;
   return point;
 }
@@ -391,15 +413,20 @@ int main(int argc, char** argv) {
           .emit();
     }
     for (const auto& p : netsim_points) {
-      jqos::bench::JsonRow("fig10_scalability")
-          .add("name", "netsim_dispatch")
+      jqos::bench::JsonRow row("fig10_scalability");
+      row.add("name", "netsim_dispatch")
           .add("backend", netsim::evq_backend_name(p.backend))
           .add("packets", p.packets)
           .add("events", p.events)
           .add("wall_sec", p.wall_sec)
           .add("events_per_sec", p.events_per_sec())
           .add("kpps", p.kpps())
-          .emit();
+          .add("mpps", p.mpps())
+          .add("peak_rss_mb", peak_rss_mb());
+      // Omitted under sanitizers (the probe is stubbed) so the regression
+      // gate never compares a fake zero against a real count.
+      if (alloc_probe::active()) row.add("allocs_per_packet", p.allocs_per_packet());
+      row.emit();
     }
     for (const auto& p : points) {
       jqos::bench::JsonRow("fig10_scalability")
@@ -438,14 +465,24 @@ int main(int argc, char** argv) {
 
   std::printf("== Netsim packet dispatch: %llu simulated packets, per event-queue backend ==\n",
               static_cast<unsigned long long>(sim_packets));
-  std::printf("%-8s %12s %12s %14s %12s\n", "backend", "packets", "events", "events/sec",
-              "Kpps");
+  std::printf("%-8s %12s %12s %14s %12s %12s\n", "backend", "packets", "events",
+              "events/sec", "Kpps", "allocs/pkt");
   for (const auto& p : netsim_points) {
-    std::printf("%-8s %12llu %12llu %14.0f %12.1f\n", netsim::evq_backend_name(p.backend),
+    char apx[32];
+    if (alloc_probe::active()) {
+      std::snprintf(apx, sizeof(apx), "%.4f", p.allocs_per_packet());
+    } else {
+      std::snprintf(apx, sizeof(apx), "n/a");
+    }
+    std::printf("%-8s %12llu %12llu %14.0f %12.1f %12s\n",
+                netsim::evq_backend_name(p.backend),
                 static_cast<unsigned long long>(p.packets),
-                static_cast<unsigned long long>(p.events), p.events_per_sec(), p.kpps());
+                static_cast<unsigned long long>(p.events), p.events_per_sec(), p.kpps(),
+                apx);
   }
-  std::printf("\n");
+  std::printf("(peak rss %.1f MB; pooled steady state must be ~0 allocs/pkt -- the\n"
+              " CI-run steady_state_alloc_test asserts the exact zero)\n\n",
+              peak_rss_mb());
 
   std::printf("== GF(256) backend sweep: single-thread encode, k=5, 512 B packets ==\n");
   std::printf("%-8s %12s %12s %10s\n", "backend", "MB/s", "Kpps", "vs scalar");

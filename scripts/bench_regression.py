@@ -37,6 +37,13 @@ THROUGHPUT_FIELDS = (
     "sessions_per_sec",
 )
 
+# Lower-is-better cost metrics. Gated on the RISE instead of the drop, with
+# a small absolute floor so a base of (near-)zero -- the pooled steady state
+# reports allocs_per_packet ~= 0 -- doesn't turn measurement noise into a
+# division-blowup failure.
+COST_FIELDS = ("allocs_per_packet",)
+COST_ABS_FLOOR = 0.05
+
 # Numeric fields that identify a row's configuration rather than measure it.
 ID_FIELDS = (
     "threads",
@@ -91,6 +98,15 @@ def diff(base_rows, current_rows, threshold):
             drop = (b - c) / b
             if drop > threshold:
                 regressions.append((dict(key), field, b, c, drop))
+        for field in COST_FIELDS:
+            if field not in base or field not in current:
+                continue
+            b, c = float(base[field]), float(current[field])
+            checked += 1
+            allowed = max(b * (1.0 + threshold), b + COST_ABS_FLOOR)
+            if c > allowed:
+                rise = (c - b) / b if b > 0 else float("inf")
+                regressions.append((dict(key), field, b, c, rise))
     for key in sorted(current_rows):
         if key not in base_rows:
             unmatched += 1
@@ -160,6 +176,22 @@ def self_test():
     fid_cur = rows({"bench": "x", "name": "overall", "overall_recovery": 0.5})
     regs, checked, _ = diff(fid_base, fid_cur, 0.15)
     assert checked == 0 and not regs, "fidelity fields are not gated"
+
+    # Cost fields gate the RISE: a pooled steady state near zero must accept
+    # noise inside the absolute floor but fail on a real pooling regression.
+    cost_base = rows({"bench": "churn", "name": "a", "allocs_per_packet": 0.01})
+    cost_noise = rows({"bench": "churn", "name": "a", "allocs_per_packet": 0.04})
+    regs, checked, _ = diff(cost_base, cost_noise, 0.15)
+    assert checked == 1 and not regs, "sub-floor cost noise must pass"
+
+    cost_bad = rows({"bench": "churn", "name": "a", "allocs_per_packet": 2.0})
+    regs, _, _ = diff(cost_base, cost_bad, 0.15)
+    assert len(regs) == 1, "an allocs-per-packet blowup must fail the gate"
+
+    # A cost field shrinking (pooling improved) never fails.
+    cost_better = rows({"bench": "churn", "name": "a", "allocs_per_packet": 0.0})
+    regs, _, _ = diff(cost_base, cost_better, 0.15)
+    assert not regs, "cost improvements must pass"
 
     _ = base  # silence lint about the illustrative fixture
     print("self-test OK")

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/packet_pool.h"
 #include "common/wire.h"
 
 namespace jqos {
@@ -149,48 +150,89 @@ std::optional<Packet> Packet::parse(std::span<const std::uint8_t> data) {
   return p;
 }
 
-PacketPtr make_data_packet(FlowId flow, SeqNo seq, NodeId src, NodeId dst,
-                           SimTime now, std::size_t payload_bytes) {
-  auto p = std::make_shared<Packet>();
-  p->type = PacketType::kData;
+std::shared_ptr<Packet> alloc_packet(PacketPool* pool) {
+  return pool ? pool->acquire() : std::make_shared<Packet>();
+}
+
+std::shared_ptr<Packet> alloc_packet_copy(PacketPool* pool, const Packet& src) {
+  return pool ? pool->acquire_copy(src) : std::make_shared<Packet>(src);
+}
+
+std::shared_ptr<Packet> make_packet(PacketPool* pool, PacketType type,
+                                    ServiceType service, FlowId flow,
+                                    SeqNo seq, NodeId src, NodeId dst,
+                                    SimTime now) {
+  auto p = alloc_packet(pool);
+  p->type = type;
+  p->service = service;
   p->flow = flow;
   p->seq = seq;
   p->src = src;
   p->dst = dst;
   p->sent_at = now;
+  return p;
+}
+
+CodedMeta& engage_meta(PacketPool* pool, Packet& pkt) {
+  if (pool) return pool->engage_meta(pkt);
+  if (!pkt.meta) pkt.meta.emplace();
+  CodedMeta& m = *pkt.meta;
+  m.covered.clear();
+  m.batch_id = 0;
+  m.index = 0;
+  m.k = 0;
+  m.r = 0;
+  return m;
+}
+
+PacketPtr make_data_packet(FlowId flow, SeqNo seq, NodeId src, NodeId dst,
+                           SimTime now, std::size_t payload_bytes,
+                           PacketPool* pool) {
+  auto p = make_packet(pool, PacketType::kData, ServiceType::kNone, flow, seq,
+                       src, dst, now);
   p->payload.assign(payload_bytes, 0);
   return p;
 }
 
 std::vector<std::uint8_t> NackInfo::serialize() const {
-  ByteWriter w(1 + 4 + 4 + missing.size() * 4);
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 4 + 4 + missing.size() * 4);
+  serialize_into(out);
+  return out;
+}
+
+void NackInfo::serialize_into(std::vector<std::uint8_t>& out) const {
+  ByteWriter w(std::move(out));
   w.u8(tail ? 1 : 0);
   w.u32(expected);
   w.u32(static_cast<std::uint32_t>(missing.size()));
   for (SeqNo s : missing) w.u32(s);
-  return w.take();
+  out = w.take();
 }
 
 std::optional<NackInfo> NackInfo::parse(std::span<const std::uint8_t> data) {
-  ByteReader r(data);
   NackInfo n;
-  n.tail = r.u8() != 0;
-  n.expected = r.u32();
-  const std::uint32_t count = r.u32();
-  if (count > r.remaining() / 4) return std::nullopt;
-  n.missing.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) n.missing.push_back(r.u32());
-  if (!r.ok()) return std::nullopt;
+  if (!parse_into(data, n)) return std::nullopt;
   return n;
 }
 
+bool NackInfo::parse_into(std::span<const std::uint8_t> data, NackInfo& out) {
+  ByteReader r(data);
+  out.tail = r.u8() != 0;
+  out.expected = r.u32();
+  out.missing.clear();
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 4) return false;
+  out.missing.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.missing.push_back(r.u32());
+  return r.ok();
+}
+
 PacketPtr make_control_packet(NodeId src, NodeId dst, SimTime now,
-                              std::vector<std::uint8_t> payload) {
-  auto p = std::make_shared<Packet>();
-  p->type = PacketType::kControl;
-  p->src = src;
-  p->dst = dst;
-  p->sent_at = now;
+                              std::vector<std::uint8_t> payload,
+                              PacketPool* pool) {
+  auto p = make_packet(pool, PacketType::kControl, ServiceType::kNone,
+                       /*flow=*/0, /*seq=*/0, src, dst, now);
   p->payload = std::move(payload);
   return p;
 }

@@ -18,6 +18,12 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  // Recycling constructor: adopts `recycle`'s storage (cleared, capacity
+  // kept) so hot-path serializers can reuse a pooled buffer via take().
+  explicit ByteWriter(std::vector<std::uint8_t>&& recycle)
+      : buf_(std::move(recycle)) {
+    buf_.clear();
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);

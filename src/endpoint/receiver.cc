@@ -109,7 +109,14 @@ void Receiver::on_data(const PacketPtr& pkt, bool recovered) {
     // arrival that outlived the gap detection.
     const SimTime detected = miss->second.detected_at;
     fs.missing.erase(miss);
-    fs.arrived_ahead[seq] = recovered;
+    // At the contiguity edge, advance directly: inserting into
+    // arrived_ahead only for advance_contiguity to erase it again would be
+    // a map-node allocation per in-order packet.
+    if (seq == fs.next_expected) {
+      ++fs.next_expected;
+    } else {
+      fs.arrived_ahead[seq] = recovered;
+    }
     deliver(pkt->flow, seq, pkt, recovered, detected);
     remember(fs, pkt);
     advance_contiguity(fs, pkt->flow);
@@ -133,8 +140,11 @@ void Receiver::on_data(const PacketPtr& pkt, bool recovered) {
     if (seq > fs.next_expected) {
       // Gap: everything in [next_expected, seq) is missing as of now.
       note_missing(fs, pkt->flow, fs.next_expected, seq);
+      fs.arrived_ahead[seq] = recovered;
+    } else {
+      // In-order fast path (see above): no arrived_ahead churn.
+      ++fs.next_expected;
     }
-    fs.arrived_ahead[seq] = recovered;
     deliver(pkt->flow, seq, pkt, recovered, 0);
     remember(fs, pkt);
     advance_contiguity(fs, pkt->flow);
@@ -162,14 +172,14 @@ void Receiver::on_data(const PacketPtr& pkt, bool recovered) {
 
 void Receiver::note_missing(FlowState& fs, FlowId flow, SeqNo from, SeqNo to_exclusive) {
   const SimTime now = net_.sim().now();
-  std::vector<SeqNo> fresh;
+  gap_scratch_.clear();
   for (SeqNo s = from; s < to_exclusive; ++s) {
     if (fs.missing.count(s) != 0 || fs.arrived_ahead.count(s) != 0) continue;
     fs.missing[s] = MissingInfo{now, now, 1};
-    fresh.push_back(s);
+    gap_scratch_.push_back(s);
     ++stats_.losses_detected;
   }
-  if (!fresh.empty()) send_nack(flow, fs, fresh, /*tail=*/false);
+  if (!gap_scratch_.empty()) send_nack(flow, fs, gap_scratch_, /*tail=*/false);
 }
 
 void Receiver::send_nack(FlowId flow, FlowState& fs, const std::vector<SeqNo>& missing,
@@ -181,24 +191,19 @@ void Receiver::send_nack(FlowId flow, FlowState& fs, const std::vector<SeqNo>& m
     ++stats_.nacks_suppressed;
     return;
   }
-  NackInfo info;
-  info.tail = tail;
+  nack_scratch_.tail = tail;
   // Tail probes ask DC2 to scan forward from the frontier of what this
   // receiver has evidence for; everything below it is tracked explicitly.
-  info.expected = tail ? fs.evidence_horizon : fs.next_expected;
-  info.missing = missing;
-  auto nack = std::make_shared<Packet>();
-  nack->type = PacketType::kNack;
+  nack_scratch_.expected = tail ? fs.evidence_horizon : fs.next_expected;
+  nack_scratch_.missing.assign(missing.begin(), missing.end());
   // Probes always address the coding service: even when the flow's recovery
   // runs elsewhere (or nowhere -- path switching), a live RecoveryService
   // answers an uncovered-key NACK with a kNackCheck, which is evidence.
-  nack->service = probe ? ServiceType::kCode : config_.recovery_service;
-  nack->flow = flow;
-  nack->seq = missing.empty() ? fs.next_expected : missing.front();
-  nack->src = node_id_;
-  nack->dst = config_.dc2;
-  nack->sent_at = net_.sim().now();
-  nack->payload = info.serialize();
+  auto nack = make_packet(pool_, PacketType::kNack,
+                          probe ? ServiceType::kCode : config_.recovery_service,
+                          flow, missing.empty() ? fs.next_expected : missing.front(),
+                          node_id_, config_.dc2, net_.sim().now());
+  nack_scratch_.serialize_into(nack->payload);
   ++stats_.nacks_sent;
   if (tail) ++stats_.tail_nacks_sent;
   net_.send(node_id_, nack);
@@ -259,14 +264,9 @@ void Receiver::remember(FlowState& fs, const PacketPtr& pkt) {
     fs.deferred_coop.erase(dit);
     if (net_.sim().now() <= deadline) {
       ++stats_.coop_deferred;
-      auto resp = std::make_shared<Packet>();
-      resp->type = PacketType::kCoopResponse;
-      resp->service = ServiceType::kCode;
-      resp->flow = request->flow;
-      resp->seq = request->seq;
-      resp->src = node_id_;
-      resp->dst = request->src;
-      resp->sent_at = net_.sim().now();
+      auto resp = make_packet(pool_, PacketType::kCoopResponse, ServiceType::kCode,
+                              request->flow, request->seq, node_id_, request->src,
+                              net_.sim().now());
       resp->meta = request->meta;
       resp->payload = pkt->payload;
       ++stats_.coop_responses_sent;
@@ -284,12 +284,20 @@ void Receiver::remember(FlowState& fs, const PacketPtr& pkt) {
       }
     }
   }
-  if (fs.buffer.emplace(pkt->seq, pkt).second) {
-    fs.buffer_order.push_back(pkt->seq);
-    while (fs.buffer_order.size() > config_.buffer_packets) {
-      fs.buffer.erase(fs.buffer_order.front());
+  if (fs.buffer.count(pkt->seq) == 0) {
+    if (config_.buffer_packets > 0 && fs.buffer_order.size() >= config_.buffer_packets) {
+      // At capacity: recycle the evicted entry's map node (extract +
+      // reinsert) so steady-state history churn never touches the
+      // allocator. The FIFO ring keeps eviction order.
+      auto node = fs.buffer.extract(fs.buffer_order.front());
       fs.buffer_order.pop_front();
+      node.key() = pkt->seq;
+      node.mapped() = pkt;
+      fs.buffer.insert(std::move(node));
+    } else {
+      fs.buffer.emplace(pkt->seq, pkt);
     }
+    fs.buffer_order.push_back(pkt->seq);
   }
 }
 
@@ -317,33 +325,33 @@ void Receiver::try_self_decode(FlowId flow, FlowState& fs, std::uint32_t batch_i
   if (bit == fs.in_coded.end() || bit->second.empty()) return;
   const CodedMeta& meta = *bit->second.front()->meta;
 
-  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> present;
-  std::vector<std::pair<std::size_t, PacketKey>> wanted;
+  present_scratch_.clear();
+  wanted_scratch_.clear();
   for (std::size_t pos = 0; pos < meta.covered.size(); ++pos) {
     const PacketKey& key = meta.covered[pos];
     auto buf = fs.buffer.find(key.seq);
     if (buf != fs.buffer.end()) {
-      present.emplace_back(pos, std::span<const std::uint8_t>(buf->second->payload));
+      present_scratch_.emplace_back(pos, std::span<const std::uint8_t>(buf->second->payload));
     } else if (fs.missing.count(key.seq) != 0) {
-      wanted.emplace_back(pos, key);
+      wanted_scratch_.emplace_back(pos, key);
     }
   }
-  if (wanted.empty()) return;  // Nothing we still need from this batch.
+  if (wanted_scratch_.empty()) return;  // Nothing we still need from this batch.
 
-  auto recovered = fec::decode_batch(decode_arena_, meta, present, bit->second);
+  auto recovered = fec::decode_batch(decode_arena_, meta, present_scratch_, bit->second);
   if (!recovered) return;  // Not enough symbols yet; keep the coded packets.
 
-  for (const auto& rp : *recovered) {
+  for (auto& rp : *recovered) {
     auto miss = fs.missing.find(rp.key.seq);
     if (miss == fs.missing.end()) continue;
     const SimTime detected = miss->second.detected_at;
     fs.missing.erase(miss);
     ++stats_.self_decoded;
-    auto packet = std::make_shared<Packet>();
+    auto packet = alloc_packet(pool_);
     packet->type = PacketType::kRecovered;
     packet->flow = rp.key.flow;
     packet->seq = rp.key.seq;
-    packet->payload = rp.payload;
+    packet->payload = std::move(rp.payload);
     if (rp.key.seq >= fs.next_expected) fs.arrived_ahead[rp.key.seq] = true;
     deliver(flow, rp.key.seq, packet, /*recovered=*/true, detected);
     remember(fs, packet);
@@ -371,14 +379,8 @@ void Receiver::on_coop_request(const PacketPtr& pkt) {
     ++stats_.coop_misses;  // We lost it too; the coded packets must cover.
     return;
   }
-  auto resp = std::make_shared<Packet>();
-  resp->type = PacketType::kCoopResponse;
-  resp->service = ServiceType::kCode;
-  resp->flow = pkt->flow;
-  resp->seq = pkt->seq;
-  resp->src = node_id_;
-  resp->dst = pkt->src;
-  resp->sent_at = net_.sim().now();
+  auto resp = make_packet(pool_, PacketType::kCoopResponse, ServiceType::kCode,
+                          pkt->flow, pkt->seq, node_id_, pkt->src, net_.sim().now());
   resp->meta = pkt->meta;  // Echo the batch id back.
   resp->payload = buf->second->payload;
   ++stats_.coop_responses_sent;
@@ -397,18 +399,12 @@ void Receiver::on_nack_check(const PacketPtr& pkt) {
   if (it == flows_.end()) return;
   FlowState& fs = it->second;
   if (!is_missing_or_future(fs, pkt->seq)) return;  // Spurious; stay silent.
-  NackInfo info;
-  info.expected = fs.next_expected;
-  info.missing = {pkt->seq};
-  auto confirm = std::make_shared<Packet>();
-  confirm->type = PacketType::kNackConfirm;
-  confirm->service = config_.recovery_service;
-  confirm->flow = pkt->flow;
-  confirm->seq = pkt->seq;
-  confirm->src = node_id_;
-  confirm->dst = pkt->src;
-  confirm->sent_at = net_.sim().now();
-  confirm->payload = info.serialize();
+  nack_scratch_.tail = false;
+  nack_scratch_.expected = fs.next_expected;
+  nack_scratch_.missing.assign(1, pkt->seq);
+  auto confirm = make_packet(pool_, PacketType::kNackConfirm, config_.recovery_service,
+                             pkt->flow, pkt->seq, node_id_, pkt->src, net_.sim().now());
+  nack_scratch_.serialize_into(confirm->payload);
   ++stats_.nack_confirms_sent;
   net_.send(node_id_, confirm);
 }
@@ -513,15 +509,15 @@ void Receiver::on_timer(FlowId flow, std::uint64_t gen) {
   }
 
   // Re-NACK holes whose last attempt is stale (lost NACK or lost recovery).
-  std::vector<SeqNo> stale;
+  stale_scratch_.clear();
   for (auto& [seq, info] : fs.missing) {
     if (now - info.last_nack_at >= config_.renack_interval) {
       info.last_nack_at = now;
       ++info.nack_count;
-      stale.push_back(seq);
+      stale_scratch_.push_back(seq);
     }
   }
-  if (!stale.empty()) send_nack(flow, fs, stale, /*tail=*/false);
+  if (!stale_scratch_.empty()) send_nack(flow, fs, stale_scratch_, /*tail=*/false);
 
   give_up_stale(flow, fs);
 

@@ -17,7 +17,9 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/packet.h"
@@ -28,6 +30,40 @@
 #include "netsim/network.h"
 
 namespace jqos::endpoint {
+
+// Bounded FIFO of sequence numbers backed by a circular vector. A deque
+// would allocate/free a chunk every ~chunk worth of push/pop churn, which
+// the zero-alloc steady-state guard (docs/MEMORY.md) counts; the ring grows
+// amortized up to the history cap and then cycles allocation-free.
+class SeqRing {
+ public:
+  void push_back(SeqNo s) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) % buf_.size()] = s;
+    ++count_;
+  }
+  SeqNo front() const { return buf_[head_]; }
+  void pop_front() {
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+  }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  void grow() {
+    std::vector<SeqNo> next(buf_.empty() ? 16 : buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = buf_[(head_ + i) % buf_.size()];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<SeqNo> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
 
 // Overlay-death detection and direct-path failover (receiver side).
 //
@@ -180,6 +216,10 @@ class Receiver final : public netsim::Node {
   // Estimated RTT feed (e.g. from the scenario builder's path data).
   void set_rtt_estimate(SimDuration rtt);
 
+  // Packet storage pool for this receiver's lane (see docs/MEMORY.md); null
+  // (the default) means heap allocation. Set at build time, before traffic.
+  void set_pool(PacketPool* pool) { pool_ = pool; }
+
   // Overlay up/down transitions (failover layer). The scenario wires this
   // to the sender's set_overlay_down via a modeled control-channel delay.
   using OverlayEventFn = std::function<void(bool up, SimTime at)>;
@@ -202,7 +242,7 @@ class Receiver final : public netsim::Node {
     std::map<SeqNo, bool> arrived_ahead;  // value: was it `recovered`?
     // Recent packets for coop responses / self-decode, FIFO-bounded.
     std::unordered_map<SeqNo, PacketPtr> buffer;
-    std::deque<SeqNo> buffer_order;
+    SeqRing buffer_order;
     // Cooperative requests for packets that have not arrived yet (the
     // requester's detection raced our slower direct path): answered as
     // soon as the packet lands, dropped after a short window.
@@ -259,6 +299,7 @@ class Receiver final : public netsim::Node {
   ReceiverConfig config_;
   DeliverFn on_delivery_;
   Rng rng_;
+  PacketPool* pool_ = nullptr;
   // Failover state (see FailoverParams). The probe timer follows the same
   // generation-guard pattern as the per-flow timers.
   OverlayEventFn on_overlay_;
@@ -278,6 +319,14 @@ class Receiver final : public netsim::Node {
   // Reused scratch for in-stream self-decodes (fec::decode_batch arena
   // overload): sized by the largest batch seen, recycled across decodes.
   fec::ShardArena decode_arena_;
+  // Per-call scratch recycled across packets (receivers are single-lane, so
+  // no handler runs reentrantly). nack_scratch_ keeps the missing vector and
+  // serialization capacity warm; the others replace per-call locals.
+  NackInfo nack_scratch_;
+  std::vector<SeqNo> gap_scratch_;    // note_missing: freshly detected holes
+  std::vector<SeqNo> stale_scratch_;  // on_timer: holes due for re-NACK
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> present_scratch_;
+  std::vector<std::pair<std::size_t, PacketKey>> wanted_scratch_;
 };
 
 }  // namespace jqos::endpoint

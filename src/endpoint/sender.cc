@@ -26,31 +26,37 @@ void Sender::register_flow(FlowId flow, const SenderPolicy& policy) {
 void Sender::unregister_flow(FlowId flow) { flows_.erase(flow); }
 
 SeqNo Sender::send(FlowId flow, std::size_t payload_bytes) {
-  return send_payload(flow, std::vector<std::uint8_t>(payload_bytes, 0));
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) throw std::invalid_argument("Sender: unregistered flow");
+  // Fill the synthetic payload directly into (pooled) packet storage instead
+  // of building a scratch vector per call.
+  auto base = alloc_packet(pool_);
+  base->payload.assign(payload_bytes, 0);
+  return transmit(flow, it->second, std::move(base));
 }
 
 SeqNo Sender::send_payload(FlowId flow, std::vector<std::uint8_t> payload) {
   auto it = flows_.find(flow);
   if (it == flows_.end()) throw std::invalid_argument("Sender: unregistered flow");
-  return transmit(flow, it->second, std::move(payload));
+  auto base = alloc_packet(pool_);
+  base->payload = std::move(payload);
+  return transmit(flow, it->second, std::move(base));
 }
 
-SeqNo Sender::transmit(FlowId flow, FlowState& fs, std::vector<std::uint8_t> payload) {
+SeqNo Sender::transmit(FlowId flow, FlowState& fs, std::shared_ptr<Packet> base) {
   const SeqNo seq = fs.next_seq++;
   const SimTime now = net_.sim().now();
   ++stats_.app_packets;
 
-  auto base = std::make_shared<Packet>();
   base->type = PacketType::kData;
   base->flow = flow;
   base->seq = seq;
   base->src = node_id_;
   base->sent_at = now;
   base->ecn_capable = fs.policy.ecn_capable;
-  base->payload = std::move(payload);
 
   if ((fs.policy.send_direct || overlay_down_) && fs.policy.receiver != kInvalidNode) {
-    auto direct = std::make_shared<Packet>(*base);
+    auto direct = alloc_packet_copy(pool_, *base);
     direct->service = ServiceType::kNone;
     direct->dst = fs.policy.receiver;
     direct->final_dst = fs.policy.receiver;
@@ -67,7 +73,7 @@ SeqNo Sender::transmit(FlowId flow, FlowState& fs, std::vector<std::uint8_t> pay
     if (fs.policy.duplicate_filter && !fs.policy.duplicate_filter(*base)) {
       ++stats_.filtered;
     } else {
-      auto cloud = std::make_shared<Packet>(*base);
+      auto cloud = alloc_packet_copy(pool_, *base);
       cloud->service = fs.policy.service;
       cloud->dst = fs.policy.dc1;
       cloud->final_dst = fs.policy.cloud_final_dst;

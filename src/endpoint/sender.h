@@ -93,16 +93,21 @@ class Sender final : public netsim::Node {
   SeqNo next_seq(FlowId flow) const;
   netsim::Network& network() { return net_; }
 
+  // Packet storage pool for this sender's lane (see docs/MEMORY.md); null
+  // (the default) means heap allocation. Set at build time, before traffic.
+  void set_pool(PacketPool* pool) { pool_ = pool; }
+
  private:
   struct FlowState {
     SenderPolicy policy;
     SeqNo next_seq = 0;
   };
 
-  SeqNo transmit(FlowId flow, FlowState& fs, std::vector<std::uint8_t> payload);
+  SeqNo transmit(FlowId flow, FlowState& fs, std::shared_ptr<Packet> base);
 
   netsim::Network& net_;
   NodeId node_id_;
+  PacketPool* pool_ = nullptr;
   std::unordered_map<FlowId, FlowState> flows_;
   std::function<void(const PacketPtr&)> on_receive_;
   bool overlay_down_ = false;

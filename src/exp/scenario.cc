@@ -117,6 +117,13 @@ ScenarioShard::ScenarioShard(std::vector<IndexedPath> paths, const WanScenarioPa
     lanes_used_ = lanes;
     sim_.configure_lanes(1 + lanes, resolve_sim_threads(params_.lane_threads));
   }
+  // One packet pool per lane (a single pool when lanes are off) so no two
+  // lanes ever contend on one freelist; hot returns are same-lane and the
+  // occasional cross-lane return takes the owner's (uncontended) mutex.
+  pools_.reserve(1 + lanes_used_);
+  for (std::size_t i = 0; i < 1 + lanes_used_; ++i) {
+    pools_.push_back(std::make_unique<PacketPool>());
+  }
   {
     // Hub lane: DCs, services, and inter-DC links all live in lane 0.
     const netsim::Simulator::LaneScope hub(sim_, 0);
@@ -153,6 +160,7 @@ void ScenarioShard::build_overlay(const std::vector<IndexedPath>& paths) {
   // claims in-transit packets), then the local services.
   for (std::size_t i = 0; i < overlay_->dc_count(); ++i) {
     overlay::DataCenter& dc = overlay_->dc(i);
+    dc.set_pool(pools_[0].get());  // DCs and services live in the hub lane.
     auto fwd = std::make_shared<services::ForwardingService>();
     forwarders_.push_back(fwd);
     dc.install(fwd);
@@ -165,6 +173,16 @@ void ScenarioShard::build_overlay(const std::vector<IndexedPath>& paths) {
         std::make_shared<services::RecoveryService>(dc, params_.recovery, registry_);
     recoverers_.push_back(recovery);
     dc.install(recovery);
+  }
+
+  // Inter-DC links transmit from the hub lane; their CE-mark copies draw
+  // from the hub pool.
+  for (std::size_t i = 0; i < overlay_->dc_count(); ++i) {
+    for (std::size_t j = 0; j < overlay_->dc_count(); ++j) {
+      if (i == j) continue;
+      netsim::Link* l = net_.link(overlay_->dc(i).id(), overlay_->dc(j).id());
+      if (l != nullptr) l->set_pool(pools_[0].get());
+    }
   }
 
   if (params_.faults.empty()) return;
@@ -218,8 +236,12 @@ void ScenarioShard::build_path(IndexedPath path) {
   rt->dc1 = overlay_->dc_by_site(sample.dc1.name);
   rt->dc2 = overlay_->dc_by_site(sample.dc2.name);
 
+  // This path's endpoint entities allocate from its lane's pool.
+  PacketPool* lane_pool = pools_[lane].get();
+
   // --- endpoints ---
   rt->sender = std::make_unique<endpoint::Sender>(net_);
+  rt->sender->set_pool(lane_pool);
 
   endpoint::ReceiverConfig rc;
   rc.dc2 = rt->dc2->id();
@@ -280,6 +302,7 @@ void ScenarioShard::build_path(IndexedPath path) {
           ++rt_raw->delivered_direct;
         }
       });
+  rt->receiver->set_pool(lane_pool);
 
   if (params_.failover.enabled) {
     // Overlay up/down notifications reach the sender over a control channel
@@ -333,6 +356,7 @@ void ScenarioShard::build_path(IndexedPath path) {
       net_.add_link(rt->sender->id(), rt->receiver->id(),
                     netsim::make_jitter_latency(jp, path_rng.fork("direct-lat")),
                     std::move(loss));
+  direct_link.set_pool(lane_pool);
   if (!params_.faults.empty()) {
     injector_.bind_link("direct:" + std::to_string(rt->global_index), &direct_link, lane);
   }
@@ -343,6 +367,17 @@ void ScenarioShard::build_path(IndexedPath path) {
   Rng access_r = path_rng.fork("access-r");
   overlay_->attach_host(rt->sender->id(), *rt->dc1, msec_f(sample.delta_s_ms), access_s);
   overlay_->attach_host(rt->receiver->id(), *rt->dc2, msec_f(sample.delta_r_ms), access_r);
+
+  // Access-link pools follow the transmitting side: host->DC links send
+  // from this path's lane, DC->host links send from the hub lane.
+  const auto set_link_pool = [this](NodeId from, NodeId to, PacketPool* pool) {
+    netsim::Link* l = net_.link(from, to);
+    if (l != nullptr) l->set_pool(pool);
+  };
+  set_link_pool(rt->sender->id(), rt->dc1->id(), lane_pool);
+  set_link_pool(rt->dc1->id(), rt->sender->id(), pools_[0].get());
+  set_link_pool(rt->receiver->id(), rt->dc2->id(), lane_pool);
+  set_link_pool(rt->dc2->id(), rt->receiver->id(), pools_[0].get());
 
   // Lane mode: the four access links are exactly the edges where this
   // path's lane meets the hub lane, so their deliveries go through declared

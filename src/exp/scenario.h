@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/packet_pool.h"
 #include "endpoint/receiver.h"
 #include "endpoint/sender.h"
 #include "endpoint/session.h"
@@ -281,6 +282,15 @@ class ScenarioShard {
     return lanes_used_ == 0 ? 0 : 1 + i % lanes_used_;
   }
 
+  // --- packet pools (docs/MEMORY.md) ---
+  // One PacketPool per lane: index 0 is the hub lane (DCs, services,
+  // inter-DC links), indices 1..lanes_used() are the endpoint lanes. With
+  // lanes off there is exactly one pool. Pool state never feeds simulation
+  // values, so results are bit-identical with pooling on or off.
+  std::size_t pool_count() const { return pools_.size(); }
+  PacketPool& pool(std::size_t lane) { return *pools_.at(lane); }
+  const PacketPool& pool(std::size_t lane) const { return *pools_.at(lane); }
+
  private:
   void build_overlay(const std::vector<IndexedPath>& paths);
   void build_path(IndexedPath path);
@@ -289,6 +299,11 @@ class ScenarioShard {
   netsim::Simulator sim_;
   netsim::Network net_;
   netsim::FaultInjector injector_;
+  // Created before any entity so every build_* step can hand out pool
+  // pointers; pooled packets outliving the shard stay safe regardless of
+  // destruction order (the pool core counts its outstanding storage and
+  // frees itself only when the last packet comes home).
+  std::vector<std::unique_ptr<PacketPool>> pools_;
   Rng rng_;  // Overlay construction only; per-path streams are derived.
   services::FlowRegistryPtr registry_;
   std::unique_ptr<overlay::OverlayNetwork> overlay_;

@@ -17,11 +17,12 @@ class FixedLatency final : public LatencyModel {
 
 class JitterLatency final : public LatencyModel {
  public:
-  JitterLatency(const JitterParams& params, Rng rng) : p_(params), rng_(rng) {}
+  JitterLatency(const JitterParams& params, Rng rng)
+      : p_(params), log_scale_(std::log(params.jitter_scale_ms)), rng_(rng) {}
 
   SimDuration sample(SimTime) override {
     // Lognormal with median jitter_scale_ms: exp(N(ln(scale), sigma)).
-    double jitter_ms = rng_.lognormal(std::log(p_.jitter_scale_ms), p_.jitter_sigma);
+    double jitter_ms = rng_.lognormal(log_scale_, p_.jitter_sigma);
     if (p_.spike_prob > 0.0 && rng_.bernoulli(p_.spike_prob)) {
       jitter_ms += rng_.pareto(p_.spike_scale_ms, p_.spike_alpha);
     }
@@ -32,6 +33,7 @@ class JitterLatency final : public LatencyModel {
 
  private:
   JitterParams p_;
+  double log_scale_;  // ln(jitter_scale_ms), hoisted off the per-packet path.
   Rng rng_;
 };
 

@@ -73,7 +73,7 @@ SimTime Link::admit(const PacketPtr& pkt, bool& mark) {
         static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * 1e6);
     tx_free_at_ = snap.dequeue_at + tx_time;
     depart = tx_free_at_;
-    backlog_.emplace_back(depart, static_cast<std::uint32_t>(bytes));
+    backlog_.push_back(depart, static_cast<std::uint32_t>(bytes));
     backlog_bytes_ += bytes;
     stats_.max_queue_bytes = std::max<std::uint64_t>(stats_.max_queue_bytes, backlog_bytes_);
     stats_.max_queue_packets =
@@ -93,45 +93,47 @@ SimTime Link::admit(const PacketPtr& pkt, bool& mark) {
 
 // Copy-on-mark: PacketPtr is shared and const, so a CE mark clones the
 // packet rather than scribbling on the copy other paths may still carry.
-static PacketPtr with_ce_mark(const PacketPtr& pkt) {
-  auto marked = std::make_shared<Packet>(*pkt);
+static PacketPtr with_ce_mark(PacketPool* pool, const PacketPtr& pkt) {
+  auto marked = alloc_packet_copy(pool, *pkt);
   marked->ecn_ce = true;
   return marked;
 }
 
-void Link::send(const PacketPtr& pkt, DeliverFn deliver) {
+void Link::send(PacketPtr pkt, DeliverFn deliver) {
   bool mark = false;
   const SimTime arrive = admit(pkt, mark);
   if (arrive < 0) return;
-  const PacketPtr out = mark ? with_ce_mark(pkt) : pkt;
+  PacketPtr out = mark ? with_ce_mark(pool_, pkt) : std::move(pkt);
   if (channel_ != nullptr) {
-    channel_->schedule(arrive, [out, deliver = std::move(deliver)] { deliver(out); });
+    channel_->schedule(arrive,
+                       [out = std::move(out), deliver = std::move(deliver)] { deliver(out); });
     return;
   }
-  sim_.at(arrive, [out, deliver = std::move(deliver)] { deliver(out); });
+  sim_.at(arrive, [out = std::move(out), deliver = std::move(deliver)] { deliver(out); });
 }
 
-void Link::send(const PacketPtr& pkt) {
+void Link::send(PacketPtr pkt) {
   assert(deliver_ && "Link::send(pkt) requires set_deliver()");
   bool mark = false;
   const SimTime arrive = admit(pkt, mark);
   if (arrive < 0) return;
   if (mark) {
-    const PacketPtr out = with_ce_mark(pkt);
+    PacketPtr out = with_ce_mark(pool_, pkt);
     if (channel_ != nullptr) {
-      channel_->schedule(arrive, [this, out] { deliver_(out); });
+      channel_->schedule(arrive, [this, out = std::move(out)] { deliver_(out); });
     } else {
-      sim_.at(arrive, [this, out] { deliver_(out); });
+      sim_.at(arrive, [this, out = std::move(out)] { deliver_(out); });
     }
     return;
   }
-  // (this, pkt) is 24 bytes: well inside EventFn's inline buffer, and no
-  // std::function is copied on the per-packet path.
+  // (this, pkt) is 24 bytes: well inside EventFn's inline buffer, no
+  // std::function is copied on the per-packet path, and the moved-in pkt
+  // never touches the refcount.
   if (channel_ != nullptr) {
-    channel_->schedule(arrive, [this, pkt] { deliver_(pkt); });
+    channel_->schedule(arrive, [this, pkt = std::move(pkt)] { deliver_(pkt); });
     return;
   }
-  sim_.at(arrive, [this, pkt] { deliver_(pkt); });
+  sim_.at(arrive, [this, pkt = std::move(pkt)] { deliver_(pkt); });
 }
 
 }  // namespace jqos::netsim

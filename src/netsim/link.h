@@ -12,8 +12,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/packet.h"
 #include "netsim/latency_model.h"
@@ -71,13 +71,16 @@ class Link {
   // Offers a packet to the link; if it survives the loss process and the
   // queue discipline it is delivered to `deliver` after serialization +
   // queueing + propagation.
-  void send(const PacketPtr& pkt, DeliverFn deliver);
+  // By-value: a caller sending a temporary (the common fabric path) moves
+  // the PacketPtr all the way into the scheduled event, so the hot path
+  // never touches the shared_ptr refcount.
+  void send(PacketPtr pkt, DeliverFn deliver);
 
   // Hot-path variant: delivers to the sink registered with set_deliver().
   // Network registers its node-dispatch sink once per link so the per-packet
   // path schedules a small (this, pkt) closure instead of copying a
   // std::function into every event.
-  void send(const PacketPtr& pkt);
+  void send(PacketPtr pkt);
   void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
 
   // Lane mode: deliveries on this link cross a lane boundary, so they are
@@ -114,7 +117,51 @@ class Link {
   void clear_degraded() { degraded_ = false; }
   bool degraded() const { return degraded_; }
 
+  // Packet storage pool for the lane this link's sender runs in (see
+  // docs/MEMORY.md). Only the copy-on-CE-mark path allocates here; null
+  // (the default) means heap allocation. Set at build time, before traffic.
+  void set_pool(PacketPool* pool) { pool_ = pool; }
+  PacketPool* pool() const { return pool_; }
+
  private:
+  // Fixed-capacity-amortized FIFO of (departure time, wire bytes) pairs.
+  // A deque allocates and frees a chunk every ~few-hundred entries of
+  // churn; this ring reaches its high-water capacity once and then cycles
+  // in place — the transmitter backlog is on the per-packet path of every
+  // finite-bandwidth link.
+  class BacklogRing {
+   public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    const std::pair<SimTime, std::uint32_t>& front() const { return slots_[head_]; }
+    void pop_front() {
+      head_ = (head_ + 1) & (slots_.size() - 1);
+      --size_;
+    }
+    void push_back(SimTime depart, std::uint32_t bytes) {
+      if (size_ == slots_.size()) grow();
+      slots_[(head_ + size_) & (slots_.size() - 1)] = {depart, bytes};
+      ++size_;
+    }
+
+   private:
+    void grow() {
+      // Power-of-two capacity keeps the index math a mask. Re-linearize on
+      // growth so head_ starts at 0 in the new storage.
+      std::vector<std::pair<SimTime, std::uint32_t>> bigger(
+          slots_.empty() ? 16 : slots_.size() * 2);
+      for (std::size_t i = 0; i < size_; ++i) {
+        bigger[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+      }
+      slots_ = std::move(bigger);
+      head_ = 0;
+    }
+
+    std::vector<std::pair<SimTime, std::uint32_t>> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
+
   Simulator& sim_;
   NodeId from_;
   NodeId to_;
@@ -131,12 +178,13 @@ class Link {
   // Departure time + size of every packet still in the transmitter, oldest
   // first; drained lazily on each send to maintain the backlog counters the
   // queue discipline and the depth stats read.
-  std::deque<std::pair<SimTime, std::uint32_t>> backlog_;
+  BacklogRing backlog_;
   std::size_t backlog_bytes_ = 0;
   // Registered delivery sink for the zero-argument send().
   DeliverFn deliver_;
   // Cross-lane delivery channel (lane mode only; null = same-lane edge).
   Simulator::Channel* channel_ = nullptr;
+  PacketPool* pool_ = nullptr;
   LinkStats stats_;
   // Fault-layer state; see set_fault_down()/set_degraded().
   bool fault_down_ = false;

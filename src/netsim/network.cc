@@ -5,7 +5,11 @@
 
 namespace jqos::netsim {
 
-void Network::attach(Node& node) { nodes_[node.id()] = &node; }
+void Network::attach(Node& node) {
+  const NodeId id = node.id();
+  if (id >= nodes_.size()) nodes_.resize(id + 1, nullptr);
+  nodes_[id] = &node;
+}
 
 Link& Network::add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossModelPtr loss,
                         double bandwidth_bps, bool preserve_order) {
@@ -28,35 +32,36 @@ Link& Network::add_link(NodeId from, NodeId to, LatencyModelPtr latency, LossMod
   // below then schedules a small inline event instead of rebuilding (and
   // copying) a std::function for every packet offered to the fabric.
   ref.set_deliver([this, to](const PacketPtr& delivered) {
-    auto it = nodes_.find(to);
-    if (it == nodes_.end()) {
+    Node* n = node(to);
+    if (n == nullptr) {
       routing_failures_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    it->second->handle_packet(delivered);
+    n->handle_packet(delivered);
   });
   links_[{from, to}] = std::move(link);
+  if (from >= out_.size()) out_.resize(from + 1);
+  auto& adj = out_[from];
+  bool replaced = false;
+  for (auto& [dst, l] : adj) {
+    if (dst == to) {
+      l = &ref;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) adj.emplace_back(to, &ref);
   return ref;
 }
 
-void Network::send(NodeId from, const PacketPtr& pkt) {
+void Network::send(NodeId from, PacketPtr pkt) {
   Link* l = link(from, pkt->dst);
   if (l == nullptr) {
     routing_failures_.fetch_add(1, std::memory_order_relaxed);
     JQOS_WARN("no link " << from << " -> " << pkt->dst << " for " << to_string(pkt->type));
     return;
   }
-  l->send(pkt);
-}
-
-Link* Network::link(NodeId from, NodeId to) {
-  auto it = links_.find({from, to});
-  return it == links_.end() ? nullptr : it->second.get();
-}
-
-const Link* Network::link(NodeId from, NodeId to) const {
-  auto it = links_.find({from, to});
-  return it == links_.end() ? nullptr : it->second.get();
+  l->send(std::move(pkt));
 }
 
 }  // namespace jqos::netsim

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/packet.h"
 #include "netsim/link.h"
@@ -60,10 +61,21 @@ class Network {
 
   // Sends pkt->dst via the from->dst link. Requires the link to exist;
   // packets to unattached or unreachable nodes are counted and dropped.
-  void send(NodeId from, const PacketPtr& pkt);
+  // By-value so a temporary moves through to the scheduled delivery event
+  // without refcount traffic.
+  void send(NodeId from, PacketPtr pkt);
 
-  Link* link(NodeId from, NodeId to);
-  const Link* link(NodeId from, NodeId to) const;
+  Link* link(NodeId from, NodeId to) {
+    if (from < out_.size()) {
+      for (const auto& [dst, l] : out_[from]) {
+        if (dst == to) return l;
+      }
+    }
+    return nullptr;
+  }
+  const Link* link(NodeId from, NodeId to) const {
+    return const_cast<Network*>(this)->link(from, to);
+  }
 
   // Visits every installed link (deterministic (from, to) order); used by
   // the experiment harness to aggregate per-link counters such as
@@ -81,8 +93,17 @@ class Network {
   Simulator& sim_;
   QdiscConfig qdisc_;
   std::uint64_t qdisc_seed_ = 0;
+  Node* node(NodeId id) const { return id < nodes_.size() ? nodes_[id] : nullptr; }
+
   NodeId next_id_ = 1;
-  std::map<NodeId, Node*> nodes_;
+  // Per-packet structures: node lookup is a dense array indexed by NodeId
+  // (allocate_id hands out small consecutive ids), and link lookup is a
+  // per-source adjacency list scanned linearly -- real fan-out is a handful
+  // of destinations, so the scan beats a tree or hash walk. The ownership
+  // map below keeps the deterministic (from, to) iteration order that
+  // for_each_link promises; it is never touched on the packet path.
+  std::vector<Node*> nodes_;
+  std::vector<std::vector<std::pair<NodeId, Link*>>> out_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
   // Atomic: in lane mode a delivery sink (which counts unattached targets)
   // runs in the RECEIVING lane while Network::send runs in senders' lanes.

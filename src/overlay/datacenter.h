@@ -66,6 +66,12 @@ class DataCenter final : public netsim::Node, public netsim::FaultableNode {
   netsim::Network& network() { return net_; }
   SimTime now() const { return net_.sim().now(); }
 
+  // Packet storage pool for the hub lane this DC runs in (see
+  // docs/MEMORY.md); services reach it via dc.pool(). Null (the default)
+  // means heap allocation. Set at build time, before traffic.
+  void set_pool(PacketPool* pool) { pool_ = pool; }
+  PacketPool* pool() const { return pool_; }
+
   std::uint64_t ingress_bytes() const { return ingress_bytes_; }
   std::uint64_t egress_bytes() const { return egress_bytes_; }
   std::uint64_t egress_packets() const { return egress_packets_; }
@@ -75,6 +81,7 @@ class DataCenter final : public netsim::Node, public netsim::FaultableNode {
   netsim::Network& net_;
   NodeId node_id_;
   DcId dc_id_;
+  PacketPool* pool_ = nullptr;
   std::string name_;
   std::vector<std::shared_ptr<DcService>> services_;
   std::uint64_t ingress_bytes_ = 0;

@@ -139,7 +139,7 @@ void CodingEncoderService::encode_queue(Queue& q, std::size_t coded, PacketType 
   const std::uint32_t batch_id = next_batch_id_++;
   coded_scratch_.clear();
   encoder_.encode_into(q.pkts, coded, type, batch_id, dc_.id(), dc2, dc_.now(),
-                       coded_scratch_);
+                       coded_scratch_, dc_.pool());
   for (auto& cp : coded_scratch_) {
     // Coded packets ride the inter-DC path with the coding service tag so
     // the recovery DC claims them on arrival.
@@ -249,7 +249,8 @@ void CodingEncoderService::flush_all() {
   // path-registration order, so the flush sequence -- and therefore the
   // send order on shared inter-DC links -- is identical whether this
   // encoder serves one experiment shard or the monolithic run.
-  std::vector<FlowId> flows;
+  std::vector<FlowId>& flows = flush_scratch_;
+  flows.clear();
   flows.reserve(in_qs_.size());
   for (const auto& [flow, q] : in_qs_) flows.push_back(flow);
   std::sort(flows.begin(), flows.end());

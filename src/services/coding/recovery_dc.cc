@@ -67,14 +67,9 @@ void RecoveryService::on_coded(const PacketPtr& pkt) {
     if (it != pending_.end() && it->second.expires_at > dc_.now()) {
       ++stats_.recheck_probes;
       ++stats_.nack_checks_sent;
-      auto check = std::make_shared<Packet>();
-      check->type = PacketType::kNackCheck;
-      check->service = ServiceType::kCode;
-      check->flow = key.flow;
-      check->seq = key.seq;
-      check->src = dc_.id();
-      check->dst = it->second.receiver;
-      check->sent_at = dc_.now();
+      auto check = make_packet(dc_.pool(), PacketType::kNackCheck, ServiceType::kCode,
+                               key.flow, key.seq, dc_.id(), it->second.receiver,
+                               dc_.now());
       dc_.send(check);
     }
   }
@@ -84,25 +79,26 @@ void RecoveryService::on_coded(const PacketPtr& pkt) {
 
 void RecoveryService::on_nack(const PacketPtr& pkt, bool confirm) {
   if (!confirm) ++stats_.nacks;
-  auto info = NackInfo::parse(pkt->payload);
-  if (!info) return;
+  if (!NackInfo::parse_into(pkt->payload, nack_scratch_)) return;
+  const NackInfo& info = nack_scratch_;
   const NodeId receiver = pkt->src;
 
-  std::vector<PacketKey> keys;
-  keys.reserve(info->missing.size());
-  for (SeqNo s : info->missing) keys.push_back(PacketKey{pkt->flow, s});
+  std::vector<PacketKey>& keys = keys_scratch_;
+  keys.clear();
+  keys.reserve(info.missing.size());
+  for (SeqNo s : info.missing) keys.push_back(PacketKey{pkt->flow, s});
 
   // Tail NACK: the receiver saw nothing after `expected`; recover every
   // covered packet of this flow from `expected` onward. Bursty losses favor
   // cooperative recovery, so prefer_coop is set below for multi-loss NACKs.
-  if (info->tail) {
+  if (info.tail) {
     // Recover every covered sequence number from `expected` onward. Holes
     // in coverage (packets the encoder evicted, batches still in flight)
     // are skipped rather than ending the run; a long uncovered stretch
     // marks the true frontier of what DC1 has seen.
     std::size_t batches_used = 0;
     std::size_t uncovered_run = 0;
-    for (SeqNo s = info->expected;
+    for (SeqNo s = info.expected;
          batches_used < params_.max_tail_batches && uncovered_run < 64; ++s) {
       const PacketKey key{pkt->flow, s};
       auto kit = key_index_.find(key);
@@ -133,7 +129,7 @@ void RecoveryService::on_nack(const PacketPtr& pkt, bool confirm) {
   // Heuristic from Section 4.2: in-stream protects random (single) losses;
   // two or more missing keys in one NACK imply a burst, where the in-stream
   // block is likely damaged beyond its own protection.
-  const bool prefer_coop = info->tail || keys.size() >= 2;
+  const bool prefer_coop = info.tail || keys.size() >= 2;
 
   for (const PacketKey& key : keys) {
     ++stats_.nack_keys;
@@ -160,14 +156,8 @@ void RecoveryService::on_nack(const PacketPtr& pkt, bool confirm) {
     } else if (!pending.check_sent) {
       pending.check_sent = true;
       ++stats_.nack_checks_sent;
-      auto check = std::make_shared<Packet>();
-      check->type = PacketType::kNackCheck;
-      check->service = ServiceType::kCode;
-      check->flow = key.flow;
-      check->seq = key.seq;
-      check->src = dc_.id();
-      check->dst = receiver;
-      check->sent_at = dc_.now();
+      auto check = make_packet(dc_.pool(), PacketType::kNackCheck, ServiceType::kCode,
+                               key.flow, key.seq, dc_.id(), receiver, dc_.now());
       dc_.send(check);
     }
   }
@@ -211,7 +201,7 @@ bool RecoveryService::serve_in_stream(const PacketKey& key, NodeId receiver) {
   // Ship the in-stream coded packets; the receiver decodes against its own
   // buffered packets of the same flow (half-RTT-to-DC recovery).
   for (const PacketPtr& coded : batch->coded) {
-    auto out = std::make_shared<Packet>(*coded);
+    auto out = alloc_packet_copy(dc_.pool(), *coded);
     out->dst = receiver;
     out->final_dst = receiver;
     dc_.send(out);
@@ -240,19 +230,14 @@ bool RecoveryService::start_coop(const PacketKey& key, NodeId receiver) {
     if (covered == key) continue;
     const FlowInfo* info = registry_->find(covered.flow);
     if (info == nullptr || info->receiver == kInvalidNode) continue;
-    auto req = std::make_shared<Packet>();
-    req->type = PacketType::kCoopRequest;
-    req->service = ServiceType::kCode;
-    req->flow = covered.flow;
-    req->seq = covered.seq;
-    req->src = dc_.id();
-    req->dst = info->receiver;
-    req->sent_at = dc_.now();
-    CodedMeta m;  // Carry only the batch id; responses echo it back.
-    m.batch_id = batch_id;
-    m.k = batch->meta.k;
-    m.r = batch->meta.r;
-    req->meta = std::move(m);
+    auto req = make_packet(dc_.pool(), PacketType::kCoopRequest, ServiceType::kCode,
+                           covered.flow, covered.seq, dc_.id(), info->receiver,
+                           dc_.now());
+    // Carry only the batch id; responses echo it back.
+    engage_meta(dc_.pool(), *req);
+    req->meta->batch_id = batch_id;
+    req->meta->k = batch->meta.k;
+    req->meta->r = batch->meta.r;
     ++stats_.coop_requests_sent;
     dc_.send(req);
   }
@@ -296,7 +281,8 @@ void RecoveryService::maybe_finish_op(CoopOp& op) {
   const std::size_t k = batch.meta.k;
   if (op.responses.size() + batch.coded.size() < k) return;  // Not yet decodable.
 
-  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> present;
+  auto& present = present_scratch_;
+  present.clear();
   present.reserve(op.responses.size());
   for (const auto& [pos, payload] : op.responses) {
     present.emplace_back(pos, std::span<const std::uint8_t>(payload));
@@ -305,19 +291,13 @@ void RecoveryService::maybe_finish_op(CoopOp& op) {
   if (!recovered) return;  // Still insufficient (duplicate positions etc).
 
   ++stats_.coop_success;
-  for (const auto& rp : *recovered) {
+  for (auto& rp : *recovered) {
     auto rit = op.requesters.find(rp.key);
     if (rit == op.requesters.end()) continue;  // Nobody asked for this one.
-    auto out = std::make_shared<Packet>();
-    out->type = PacketType::kRecovered;
-    out->service = ServiceType::kCode;
-    out->flow = rp.key.flow;
-    out->seq = rp.key.seq;
-    out->src = dc_.id();
-    out->dst = rit->second;
+    auto out = make_packet(dc_.pool(), PacketType::kRecovered, ServiceType::kCode,
+                           rp.key.flow, rp.key.seq, dc_.id(), rit->second, dc_.now());
     out->final_dst = rit->second;
-    out->sent_at = dc_.now();
-    out->payload = rp.payload;
+    out->payload = std::move(rp.payload);
     ++stats_.recovered_sent;
     dc_.send(out);
   }

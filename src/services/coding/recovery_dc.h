@@ -20,7 +20,9 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fec/coded_batch.h"
@@ -203,6 +205,12 @@ class RecoveryService final : public overlay::DcService {
   // overload): grows to the largest batch shape once, then every decode
   // frames and reconstructs in place.
   fec::ShardArena decode_arena_;
+
+  // Per-call scratch recycled across packets (services run on their DC's
+  // single hub lane, so handlers never run reentrantly).
+  NackInfo nack_scratch_;
+  std::vector<PacketKey> keys_scratch_;
+  std::vector<std::pair<std::size_t, std::span<const std::uint8_t>>> present_scratch_;
 
   RecoveryStatsDc stats_;
 };

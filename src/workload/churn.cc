@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/obj_pool.h"
 #include "common/parallel.h"
 #include "exp/sharded_runner.h"
 #include "geo/path_dataset.h"
@@ -28,7 +29,11 @@ struct SessionState {
   std::uint32_t direct = 0;
   std::uint32_t recovered = 0;
   std::uint32_t lost = 0;
-  std::vector<std::uint8_t> outcome;  // Indexed by the flow's sequence number.
+  // Per-packet codes indexed by the flow's sequence number. Pooled: a soak
+  // opens and closes millions of sessions, and recycling the vector's
+  // capacity keeps session open/close off the global allocator (the buffer
+  // returns to the engine's pool when the session is erased).
+  common::ObjPool<std::vector<std::uint8_t>>::Handle outcome;
 };
 
 // One shard's churn workload: owns the ScenarioShard, drives arrivals,
@@ -148,7 +153,8 @@ class ChurnShardEngine {
     s.path = path_index;
     s.opened_at = shard_.sim().now();
     s.total = total;
-    s.outcome.assign(total, kPending);
+    s.outcome = outcome_pool_.acquire();
+    s.outcome->assign(total, kPending);
     ++totals.sessions_opened;
     // The send chain belongs to the path's endpoint lane from here on: the
     // first send fires synchronously (lanes are parked while serial events
@@ -184,8 +190,8 @@ class ChurnShardEngine {
     auto it = active_.find(rec.flow);
     if (it == active_.end()) return;  // Record for an already-closed session.
     SessionState& s = it->second;
-    if (rec.seq >= s.outcome.size()) return;
-    std::uint8_t& o = s.outcome[rec.seq];
+    if (rec.seq >= s.outcome->size()) return;
+    std::uint8_t& o = (*s.outcome)[rec.seq];
 
     if (rec.late_direct) {
       // The direct copy arrived after all: not a path loss (same
@@ -238,7 +244,7 @@ class ChurnShardEngine {
     // Ground truth: every sequence number with no delivery record by the
     // end of the linger window is a loss (tail losses the receiver never
     // distinguished from a finished stream).
-    for (std::uint8_t& o : s.outcome) {
+    for (std::uint8_t& o : *s.outcome) {
       if (o == kPending) {
         o = kLost;
         ++s.lost;
@@ -285,6 +291,10 @@ class ChurnShardEngine {
   // carrying finalize events.
   std::vector<QuantileSketch> path_recovery_ms_;
   std::vector<netsim::Simulator::Channel*> serial_ch_;
+  // Session open/close runs in the serial lane, so one engine-wide pool of
+  // outcome vectors sees no contention; its byte bound keeps a bulk-mix
+  // burst from pinning memory past the soak's concurrency high-water.
+  common::ObjPool<std::vector<std::uint8_t>> outcome_pool_;
   std::unordered_map<FlowId, SessionState> active_;
   SimTime end_ = 0;
   SimDuration send_gap_;
